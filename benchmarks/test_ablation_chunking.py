@@ -1,0 +1,50 @@
+"""Design ablation (DESIGN.md #7): subtree-size chunking vs per-node placement.
+
+With the chunk factor forced to B = 1, every tree node becomes its own
+meta-node on a random module, so every traversed edge is a potential
+round-trip through the CPU — the naive master-node design §3 argues
+against.  Chunking restores locality: traversals stay on one module for a
+whole chunk (and, via L1 caching, for whole cached regions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import skew_resistant
+from repro.eval import PIMZdTreeAdapter, format_table
+
+from conftest import N_MODULES, SEED
+
+BATCH = 512
+
+_ROWS: list[list] = []
+
+
+def test_chunking_ablation(benchmark, datasets):
+    data = datasets["uniform"]
+    rng = np.random.default_rng(SEED)
+    q = data[rng.integers(0, len(data), BATCH)]
+
+    def run():
+        for label, b in (("chunked (B=16)", 16), ("per-node (B=1)", 1)):
+            cfg = skew_resistant(N_MODULES, chunk_factor=b)
+            adapter = PIMZdTreeAdapter(data, n_modules=N_MODULES, config=cfg)
+            snap = adapter.system.snapshot()
+            adapter.tree.search(q)
+            d = adapter.system.stats.diff(snap).total
+            _ROWS.append(
+                [label, round(d.comm_words / BATCH, 1), d.rounds]
+            )
+        return _ROWS
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_chunking_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_ROWS) == 2
+    print("\n=== Ablation — chunking vs per-node placement (SEARCH) ===")
+    print(format_table(["layout", "comm words/op", "rounds"], _ROWS))
+    chunked, pernode = _ROWS
+    assert pernode[1] > chunked[1]  # more communication per op
+    assert pernode[2] >= chunked[2]  # at least as many rounds

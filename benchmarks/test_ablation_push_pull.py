@@ -1,0 +1,50 @@
+"""Design ablation (DESIGN.md #6): push-pull search vs push-only.
+
+Without push-pull, a contended batch piles all its queries onto the few
+modules mastering the hot meta-nodes; the straggler's PIM time then
+dominates the round.  Push-pull pulls the hot meta-nodes to the host and
+caps the imbalance (§3.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import skew_resistant
+from repro.eval import PIMZdTreeAdapter, format_table
+
+from conftest import N_MODULES, SEED
+
+BATCH = 768
+
+_RESULT: dict[bool, float] = {}
+
+
+def test_push_pull_ablation(benchmark, datasets):
+    data = datasets["uniform"]
+    rng = np.random.default_rng(SEED)
+    hot = np.tile(data[123], (BATCH, 1)) + rng.normal(scale=1e-5, size=(BATCH, 3))
+
+    def run():
+        for enabled in (True, False):
+            cfg = skew_resistant(N_MODULES, push_pull=enabled)
+            adapter = PIMZdTreeAdapter(data, n_modules=N_MODULES, config=cfg)
+            m = adapter.measure(lambda: adapter.knn(hot, 1))
+            _RESULT[enabled] = m.throughput / 1e6
+        return _RESULT
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["push_pull:mops"] = round(_RESULT[True], 4)
+    benchmark.extra_info["push_only:mops"] = round(_RESULT[False], 4)
+
+
+def test_push_pull_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n=== Ablation — push-pull vs push-only on an adversarial batch ===")
+    print(
+        format_table(
+            ["mode", "1-NN MOp/s"],
+            [["push-pull", round(_RESULT[True], 3)],
+             ["push-only", round(_RESULT[False], 3)]],
+        )
+    )
+    assert _RESULT[True] > _RESULT[False]

@@ -1,0 +1,52 @@
+"""Fig. 5(b): throughput + memory traffic on the COSMOS-like dataset.
+
+The real COSMOS catalogue exhibits moderate spatial skew (Gini ≈ 0.287
+over 2048 bins); the synthetic stand-in is calibrated to the same
+statistic (see ``repro.workloads.cosmos_like_points`` and DESIGN.md).
+"""
+
+import pytest
+
+from repro.eval import fig5_table, geomean, speedup_summary
+
+from conftest import record, run_fig5_suite
+
+# A representative subset keeps the three-index suite affordable while
+# covering every operation family of Fig. 5(b).
+OPS = ("insert", "bc-1", "bc-100", "bf-10", "bf-100", "1-nn", "10-nn")
+
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("kind", ["pim", "pkd", "zd"])
+def test_fig5_cosmos_suite(benchmark, kind, datasets, fresh_points_factory,
+                           box_sides):
+    data = datasets["cosmos"]
+    fresh = fresh_points_factory("cosmos")
+    sides = box_sides["cosmos"]
+
+    def run():
+        adapter, ms = run_fig5_suite(kind, data, fresh, sides, OPS)
+        _RESULTS[adapter.name] = ms
+        return ms
+
+    ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, ms)
+    assert all(m.elements > 0 for m in ms)
+
+
+def test_fig5_cosmos_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_RESULTS) == {"pim-zd-tree", "pkd-tree", "zd-tree"}
+    print("\n=== Fig. 5(b) — COSMOS-like dataset (Gini ≈ 0.29) ===")
+    print(fig5_table(_RESULTS))
+    print(speedup_summary(_RESULTS))
+    pim = {m.op: m for m in _RESULTS["pim-zd-tree"]}
+    for other_name in ("pkd-tree", "zd-tree"):
+        other = {m.op: m for m in _RESULTS[other_name]}
+        overall = geomean([pim[o].throughput / other[o].throughput for o in pim])
+        assert overall > 1.0, (other_name, overall)
+        traffic = geomean(
+            [other[o].traffic_per_element / pim[o].traffic_per_element for o in pim]
+        )
+        assert traffic > 1.0

@@ -1,0 +1,47 @@
+"""Fig. 5(c): throughput + memory traffic on the OSM-like dataset.
+
+OSM North America road data is extremely skewed (Gini ≈ 0.967 over 2048
+bins); the synthetic stand-in matches the statistic (DESIGN.md).  The
+batches of the paper's §7.2 real-world runs query the warmed-up data's own
+distribution, so queries here are sampled from the dataset itself.
+"""
+
+import pytest
+
+from repro.eval import fig5_table, geomean, speedup_summary
+
+from conftest import record, run_fig5_suite
+
+OPS = ("insert", "bc-1", "bc-100", "bf-10", "bf-100", "1-nn", "10-nn")
+
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("kind", ["pim", "pkd", "zd"])
+def test_fig5_osm_suite(benchmark, kind, datasets, fresh_points_factory,
+                        box_sides):
+    data = datasets["osm"]
+    fresh = fresh_points_factory("osm")
+    sides = box_sides["osm"]
+
+    def run():
+        adapter, ms = run_fig5_suite(kind, data, fresh, sides, OPS)
+        _RESULTS[adapter.name] = ms
+        return ms
+
+    ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, ms)
+    assert all(m.elements > 0 for m in ms)
+
+
+def test_fig5_osm_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_RESULTS) == {"pim-zd-tree", "pkd-tree", "zd-tree"}
+    print("\n=== Fig. 5(c) — OSM-like dataset (Gini ≈ 0.97) ===")
+    print(fig5_table(_RESULTS))
+    print(speedup_summary(_RESULTS))
+    pim = {m.op: m for m in _RESULTS["pim-zd-tree"]}
+    for other_name in ("pkd-tree", "zd-tree"):
+        other = {m.op: m for m in _RESULTS[other_name]}
+        overall = geomean([pim[o].throughput / other[o].throughput for o in pim])
+        assert overall > 1.0, (other_name, overall)

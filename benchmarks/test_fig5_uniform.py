@@ -1,0 +1,77 @@
+"""Fig. 5(a): throughput + memory traffic on uniform random workloads.
+
+Regenerates the ten-operation comparison (INSERT, BoxCount-{1,10,100},
+BoxFetch-{1,10,100}, {1,10,100}-NN) of PIM-zd-tree vs Pkd-tree vs zd-tree
+on the uniform microbenchmark (§7.2), printing the throughput/traffic rows
+and asserting the headline shape: PIM-zd-tree leads on every operation
+family and reduces memory traffic across the board.
+"""
+
+import pytest
+
+from repro.eval import FIG5_OPS, fig5_table, geomean, speedup_summary
+
+from conftest import record, run_fig5_suite
+
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("kind", ["pim", "pkd", "zd"])
+def test_fig5_uniform_suite(benchmark, kind, datasets, fresh_points_factory,
+                            box_sides):
+    data = datasets["uniform"]
+    fresh = fresh_points_factory("uniform")
+    sides = box_sides["uniform"]
+
+    def run():
+        adapter, ms = run_fig5_suite(kind, data, fresh, sides, FIG5_OPS)
+        _RESULTS[adapter.name] = ms
+        return ms
+
+    ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, ms)
+    assert all(m.throughput > 0 for m in ms)
+
+
+def test_fig5_uniform_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Printed table + the paper's qualitative claims."""
+    assert set(_RESULTS) == {"pim-zd-tree", "pkd-tree", "zd-tree"}
+    print("\n=== Fig. 5(a) — uniform random workloads ===")
+    print(fig5_table(_RESULTS))
+    print(speedup_summary(_RESULTS))
+
+    pim = {m.op: m for m in _RESULTS["pim-zd-tree"]}
+    pkd = {m.op: m for m in _RESULTS["pkd-tree"]}
+    zd = {m.op: m for m in _RESULTS["zd-tree"]}
+
+    # Headline shape (paper: 1.82x/4.25x/3.08x/1.46x over Pkd-tree and
+    # 1.49x/518x/99x/3.46x over zd-tree, geometric means per family).
+    for fam, pred in {
+        "insert": lambda op: op == "insert",
+        "bc": lambda op: op.startswith("bc-"),
+        "bf": lambda op: op.startswith("bf-"),
+        "nn": lambda op: op.endswith("-nn"),
+    }.items():
+        for other in (pkd, zd):
+            ratio = geomean(
+                [pim[o].throughput / other[o].throughput for o in pim if pred(o)]
+            )
+            assert ratio > 1.0, (fam, ratio)
+
+    # zd-tree's interval-scan box queries are catastrophically slower.
+    zd_bc = geomean([pim[o].throughput / zd[o].throughput for o in pim if o.startswith("bc-")])
+    assert zd_bc > 30
+    zd_bf = geomean([pim[o].throughput / zd[o].throughput for o in pim if o.startswith("bf-")])
+    assert zd_bf > 10
+
+    # Traffic reduction across all ops (paper: 3.5x vs Pkd, 18.8x vs zd).
+    t_pkd = geomean(
+        [pkd[o].traffic_per_element / pim[o].traffic_per_element for o in pim]
+    )
+    t_zd = geomean(
+        [zd[o].traffic_per_element / pim[o].traffic_per_element for o in pim]
+    )
+    print(f"traffic reduction geomean: vs pkd x{t_pkd:.2f}, vs zd x{t_zd:.2f}")
+    assert t_pkd > 1.5
+    assert t_zd > 3.0

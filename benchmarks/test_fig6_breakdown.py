@@ -1,0 +1,59 @@
+"""Fig. 6: runtime breakdown (CPU / PIM / CPU↔PIM communication).
+
+The paper's breakdown shows INSERT with a significant CPU share (batch
+preprocessing), BoxFetch-100 dominated by communication (large output over
+the bus), and the remaining operations dominated by PIM execution — the
+design goal of offloading computation to the PIM side.
+"""
+
+import pytest
+
+from repro.eval import format_table, make_adapter, make_boxes, run_op
+
+from conftest import BATCH, N_MODULES, SEED
+
+OPS = ("insert", "bc-1", "bc-100", "bf-100", "100-nn")
+
+_BREAKDOWN: dict[str, dict] = {}
+
+
+def test_fig6_breakdown(benchmark, datasets, fresh_points_factory, box_sides):
+    data = datasets["uniform"]
+    fresh = fresh_points_factory("uniform")
+    sides = box_sides["uniform"]
+
+    def run():
+        adapter = make_adapter("pim", data, n_modules=N_MODULES)
+        for op in OPS:
+            m = run_op(
+                adapter, op, data=data, batch=BATCH, seed=SEED,
+                box_sides=sides, fresh_points=fresh,
+            )
+            _BREAKDOWN[op] = m.breakdown_fractions()
+        return _BREAKDOWN
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for op, frac in _BREAKDOWN.items():
+        for part, v in frac.items():
+            benchmark.extra_info[f"{op}:{part}"] = round(v, 3)
+
+
+def test_fig6_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_BREAKDOWN) == set(OPS)
+    print("\n=== Fig. 6 — runtime breakdown of PIM-zd-tree operations ===")
+    rows = [
+        [op, f["cpu"], f["pim"], f["comm"]] for op, f in _BREAKDOWN.items()
+    ]
+    print(format_table(["op", "cpu", "pim", "comm"], rows))
+
+    # BoxFetch-100's output volume makes communication its largest share
+    # relative to the small box ops (paper: "high CPU-PIM communication
+    # time, as its computation is simple but the output size is large").
+    assert _BREAKDOWN["bf-100"]["comm"] > _BREAKDOWN["bc-1"]["comm"] - 0.05
+    assert _BREAKDOWN["bf-100"]["comm"] >= 0.3
+    # INSERT has a visible CPU component (batch preprocessing).
+    assert _BREAKDOWN["insert"]["cpu"] >= _BREAKDOWN["bc-1"]["cpu"]
+    # Every operation runs a real PIM component.
+    for op in OPS:
+        assert _BREAKDOWN[op]["pim"] > 0.02, op

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: build a PIM-zd-tree, run every operation, read the meters.
+
+This walks the full public API on a small uniform dataset:
+
+1. simulate a PIM system and build the index,
+2. batch INSERT / DELETE,
+3. exact kNN and orthogonal range queries,
+4. read the simulated performance counters (the PIM Model metrics) and
+   convert them to simulated time with the UPMEM-like cost model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Box, PIMSystem, PIMZdTree, throughput_optimized
+
+rng = np.random.default_rng(42)
+
+# ----------------------------------------------------------------------
+# 1. A simulated PIM machine and an index over 50k random 3-D points.
+# ----------------------------------------------------------------------
+points = rng.random((50_000, 3))
+system = PIMSystem(n_modules=64, seed=1)
+config = throughput_optimized(len(points), system.n_modules)
+tree = PIMZdTree(points, config=config, system=system)
+
+print(f"built PIM-zd-tree: n={tree.size}, height={tree.height()}, "
+      f"meta-nodes={len(tree.metas)}, L0 on CPU: {tree.l0_on_cpu}")
+
+# ----------------------------------------------------------------------
+# 2. Batch updates.
+# ----------------------------------------------------------------------
+fresh = rng.random((5_000, 3))
+tree.insert(fresh)
+print(f"after insert: n={tree.size}")
+
+removed = tree.delete(fresh[:2_000])
+print(f"after delete: n={tree.size} (removed {removed})")
+
+# ----------------------------------------------------------------------
+# 3. Queries — all results are exact.
+# ----------------------------------------------------------------------
+queries = rng.random((4, 3))
+snapshot = system.snapshot()
+for q, (dists, neighbours) in zip(queries, tree.knn(queries, k=5)):
+    print(f"5-NN of {np.round(q, 3)}: dists {np.round(dists, 4)}")
+
+box = Box(np.array([0.4, 0.4, 0.4]), np.array([0.6, 0.6, 0.6]))
+count = tree.box_count([box])[0]
+inside = tree.box_fetch([box])[0]
+print(f"box {box.lo} .. {box.hi}: {count} points (fetched {len(inside)})")
+
+# ----------------------------------------------------------------------
+# 4. Simulated performance: the PIM Model counters + the cost model.
+# ----------------------------------------------------------------------
+delta = system.stats.diff(snapshot).total
+t = tree.cost_model.time(delta)
+print("\nsimulated cost of the query section:")
+print(f"  CPU work        : {delta.cpu_ops:,.0f} ops")
+print(f"  PIM time        : {delta.pim_cycles:,.0f} cycles "
+      f"(max per module per round, summed)")
+print(f"  communication   : {delta.comm_words:,.0f} words over "
+      f"{delta.rounds} BSP rounds")
+print(f"  simulated time  : {t.total_s * 1e6:,.1f} µs "
+      f"(cpu {t.cpu_s * 1e6:.1f} + pim {t.pim_s * 1e6:.1f} + "
+      f"comm {t.comm_s * 1e6:.1f})")
+print(f"  bus traffic     : {tree.cost_model.traffic_bytes(delta):,.0f} bytes")
+
+space = tree.space_words()
+print(f"\nspace: master {space['master']:,.0f} w, caches {space['cache']:,.0f} w, "
+      f"host L0 {space['host_l0']:,.0f} w  "
+      f"(raw points would be {tree.size * 4:,} w)")

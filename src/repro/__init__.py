@@ -1,0 +1,66 @@
+"""PIM-zd-tree reproduction (PPoPP 2026).
+
+A full reimplementation of *PIM-zd-tree: A Fast Space-Partitioning Index
+Leveraging Processing-in-Memory* (Zhao et al., PPoPP'26) on a simulated
+PIM system, with the paper's two shared-memory baselines, workload
+generators, and an evaluation harness regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PIMZdTree, PIMSystem
+
+    pts = np.random.default_rng(0).random((100_000, 3))
+    tree = PIMZdTree(pts, system=PIMSystem(64))
+    dists, neighbours = tree.knn(pts[:10], k=5)[0]
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.core`` — the PIM-zd-tree and its techniques (§3–§6).
+* ``repro.pim`` — the PIM Model simulator + cost models (substrate).
+* ``repro.baselines`` — shared-memory zd-tree and Pkd-tree (§7.1).
+* ``repro.workloads`` — uniform / Varden / COSMOS-like / OSM-like data.
+* ``repro.eval`` — experiment harness, metrics and report tables (§7).
+"""
+
+from .baselines import CPUCostMeter, CPUCostModel, PkdTree, ZdTree
+from .core import (
+    L1,
+    L2,
+    LINF,
+    Box,
+    Layer,
+    Metric,
+    MortonCodec,
+    PIMZdTree,
+    PIMZdTreeConfig,
+    skew_resistant,
+    throughput_optimized,
+)
+from .pim import PIMCostModel, PIMStats, PIMSystem, SimTime, upmem_scaled
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "CPUCostMeter",
+    "CPUCostModel",
+    "L1",
+    "L2",
+    "LINF",
+    "Layer",
+    "Metric",
+    "MortonCodec",
+    "PIMCostModel",
+    "PIMStats",
+    "PIMSystem",
+    "PIMZdTree",
+    "PIMZdTreeConfig",
+    "PkdTree",
+    "SimTime",
+    "ZdTree",
+    "skew_resistant",
+    "throughput_optimized",
+    "upmem_scaled",
+    "__version__",
+]

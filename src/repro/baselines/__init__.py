@@ -1,0 +1,19 @@
+"""Shared-memory baseline indexes (§7.1) and their CPU cost model.
+
+* :class:`ZdTree` — the zd-tree of Blelloch & Dobson [12].
+* :class:`PkdTree` — the Pkd-tree of Men et al. [63].
+* :class:`CPUCostMeter` / :class:`CPUCostModel` — the baseline Xeon machine.
+"""
+
+from .cpu_cost import XEON_BASELINE, CPUCostMeter, CPUCostModel
+from .pkdtree import PkdTree
+from .zdtree import NullMeter, ZdTree
+
+__all__ = [
+    "CPUCostMeter",
+    "CPUCostModel",
+    "NullMeter",
+    "PkdTree",
+    "XEON_BASELINE",
+    "ZdTree",
+]

@@ -1,0 +1,127 @@
+"""Command-line driver: regenerate any paper experiment from a shell.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli fig5 --dataset osm --n 30000
+    python -m repro.cli table3 --batch 256
+    python -m repro.cli all --out results/
+
+``all`` runs every experiment and (with ``--out``) writes one markdown
+report plus a JSON dump of the raw rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from .eval.experiments import ALL_EXPERIMENTS, DATASETS, ExperimentResult
+
+_COMMON_PARAMS = {
+    "n": (int, "warmup dataset size"),
+    "batch": (int, "operations per measured batch"),
+    "n_modules": (int, "simulated PIM modules"),
+    "seed": (int, "master seed"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the PIM-zd-tree paper's tables and figures "
+                    "on the simulated PIM system.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name in ALL_EXPERIMENTS:
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        _add_common(p)
+        if name in ("fig5", "latency"):
+            p.add_argument(
+                "--dataset", default="uniform" if name == "fig5" else "osm",
+                choices=sorted(DATASETS), help="workload distribution",
+            )
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    _add_common(p_all)
+    p_all.add_argument("--out", type=Path, default=None,
+                       help="directory for report.md / results.json")
+    return parser
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    for name, (typ, help_text) in _COMMON_PARAMS.items():
+        p.add_argument(f"--{name.replace('_', '-')}", type=typ, default=None,
+                       help=help_text)
+
+
+def _kwargs_from(args: argparse.Namespace) -> dict:
+    kw = {}
+    for name in _COMMON_PARAMS:
+        v = getattr(args, name, None)
+        if v is not None:
+            kw[name] = v
+    if getattr(args, "dataset", None) is not None:
+        kw["dataset"] = args.dataset
+    return kw
+
+
+def _run_one(name: str, kwargs: dict) -> ExperimentResult:
+    import inspect
+
+    fn = ALL_EXPERIMENTS[name]
+    accepted = set(inspect.signature(fn).parameters)
+    kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    t0 = time.time()
+    result = fn(**kwargs)
+    print(result)
+    print(f"[{name} completed in {time.time() - t0:.1f}s wall]\n")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("available experiments:")
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"  {name:8s} {doc[0] if doc else ''}")
+        return 0
+
+    if args.command == "all":
+        kwargs = _kwargs_from(args)
+        results = []
+        for name in ALL_EXPERIMENTS:
+            kw = dict(kwargs)
+            results.append(_run_one(name, kw))
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            report = args.out / "report.md"
+            with report.open("w") as f:
+                f.write("# PIM-zd-tree reproduction report\n\n")
+                for r in results:
+                    f.write(f"## {r.name} ({r.paper_ref})\n\n```\n{r.table()}\n```\n")
+                    if r.notes:
+                        f.write(f"\n{r.notes}\n")
+                    f.write("\n")
+            blob = {
+                r.name: {"headers": r.headers, "rows": r.rows, "notes": r.notes}
+                for r in results
+            }
+            (args.out / "results.json").write_text(json.dumps(blob, indent=2))
+            print(f"wrote {report} and {args.out / 'results.json'}")
+        return 0
+
+    _run_one(args.command, _kwargs_from(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

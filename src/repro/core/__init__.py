@@ -1,0 +1,44 @@
+"""PIM-zd-tree: the paper's primary contribution.
+
+Public surface:
+
+* :class:`PIMZdTree` — the batch-dynamic index (§3, §4).
+* :func:`throughput_optimized` / :func:`skew_resistant` — the two Table 2
+  configurations; :class:`PIMZdTreeConfig` for custom tuning.
+* :class:`MortonCodec` and the z-order codecs (§6).
+* :class:`Box`, metrics ``L1``/``L2``/``LINF`` — geometry primitives.
+"""
+
+from .config import PIMZdTreeConfig, skew_resistant, throughput_optimized
+from .geometry import L1, L2, LINF, Box, Metric, dist, dist_point_box
+from .introspect import TreeStats, tree_stats
+from .morton import (
+    MortonCodec,
+    max_bits_per_dim,
+    morton_decode,
+    morton_encode,
+)
+from .node import Layer, Node
+from .tree import PIMZdTree
+
+__all__ = [
+    "Box",
+    "L1",
+    "L2",
+    "LINF",
+    "Layer",
+    "Metric",
+    "MortonCodec",
+    "Node",
+    "PIMZdTree",
+    "PIMZdTreeConfig",
+    "TreeStats",
+    "dist",
+    "dist_point_box",
+    "max_bits_per_dim",
+    "morton_decode",
+    "morton_encode",
+    "skew_resistant",
+    "throughput_optimized",
+    "tree_stats",
+]

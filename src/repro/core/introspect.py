@@ -1,0 +1,123 @@
+"""Structure introspection: per-layer, per-chunk, per-module statistics.
+
+``tree_stats`` summarises a PIM-zd-tree the way the paper's §3/§5 describe
+it — how many nodes each layer holds, how chunking shaped the meta-nodes
+(sparse vs dense, §6), how much replication L1 sharing costs, and how the
+hash placement spread masters over the modules.  Useful for tuning
+θ_L0/θ_L1/B on a new workload and for the space-bound tests
+(Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .node import Layer
+
+__all__ = ["TreeStats", "tree_stats"]
+
+
+@dataclass
+class TreeStats:
+    """Aggregate structural statistics of one PIM-zd-tree."""
+
+    n_points: int
+    n_nodes: int
+    n_leaves: int
+    height: int
+    nodes_per_layer: dict[str, int]
+    points_per_layer: dict[str, int]
+    n_metas: int
+    metas_per_layer: dict[str, int]
+    dense_metas: int
+    sparse_metas: int
+    meta_nodes_mean: float
+    meta_nodes_max: int
+    l1_replica_copies: int
+    master_words: float
+    cache_words: float
+    host_l0_words: float
+    module_master_words: np.ndarray = field(repr=False, default=None)
+    placement_imbalance: float = 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"points={self.n_points:,}  nodes={self.n_nodes:,} "
+            f"(leaves={self.n_leaves:,})  height={self.height}",
+            "layer nodes/points: "
+            + "  ".join(
+                f"{layer}: {self.nodes_per_layer.get(layer, 0):,}n/"
+                f"{self.points_per_layer.get(layer, 0):,}p"
+                for layer in ("L0", "L1", "L2")
+            ),
+            f"meta-nodes={self.n_metas:,} "
+            f"(dense {self.dense_metas:,} / sparse {self.sparse_metas:,}; "
+            f"mean {self.meta_nodes_mean:.1f} nodes, max {self.meta_nodes_max})",
+            f"L1 replica copies={self.l1_replica_copies:,}",
+            f"space: master {self.master_words:,.0f}w + cache "
+            f"{self.cache_words:,.0f}w + host L0 {self.host_l0_words:,.0f}w",
+            f"placement imbalance (max/mean master words): "
+            f"x{self.placement_imbalance:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def tree_stats(tree) -> TreeStats:
+    """Collect a :class:`TreeStats` snapshot from a live PIM-zd-tree."""
+    nodes_per_layer: Counter = Counter()
+    points_per_layer: Counter = Counter()
+    n_nodes = 0
+    n_leaves = 0
+
+    def rec(node, depth) -> int:
+        nonlocal n_nodes, n_leaves
+        n_nodes += 1
+        nodes_per_layer[node.layer.name] += 1
+        if node.is_leaf:
+            n_leaves += 1
+            points_per_layer[node.layer.name] += node.count
+            return depth
+        return max(rec(node.left, depth + 1), rec(node.right, depth + 1))
+
+    height = rec(tree.root, 1)
+
+    metas_per_layer: Counter = Counter()
+    dense = sparse = 0
+    sizes = []
+    replica_copies = 0
+    for m in tree.metas:
+        metas_per_layer[m.layer.name] += 1
+        sizes.append(m.n_nodes)
+        if m.dense(tree.config):
+            dense += 1
+        else:
+            sparse += 1
+        if m.layer == Layer.L1:
+            replica_copies += m.replica_count()
+
+    module_master = np.array([mod.master_words for mod in tree.system.modules])
+    mean = module_master.mean() if module_master.size else 0.0
+    space = tree.space_words()
+    return TreeStats(
+        n_points=tree.size,
+        n_nodes=n_nodes,
+        n_leaves=n_leaves,
+        height=height,
+        nodes_per_layer=dict(nodes_per_layer),
+        points_per_layer=dict(points_per_layer),
+        n_metas=len(tree.metas),
+        metas_per_layer=dict(metas_per_layer),
+        dense_metas=dense,
+        sparse_metas=sparse,
+        meta_nodes_mean=float(np.mean(sizes)) if sizes else 0.0,
+        meta_nodes_max=int(max(sizes)) if sizes else 0,
+        l1_replica_copies=replica_copies,
+        master_words=space["master"],
+        cache_words=space["cache"],
+        host_l0_words=space["host_l0"],
+        module_master_words=module_master,
+        placement_imbalance=float(module_master.max() / mean) if mean > 0 else 0.0,
+    )

@@ -1,0 +1,327 @@
+"""Batch k-nearest-neighbour queries (Alg. 3).
+
+The batched kNN pipeline:
+
+1. SEARCH the batch, recording traces.
+2. For each query, pick the lowest trace node whose lazy counter is at
+   least ``2k`` (the paper states ``SC ≥ k``; because Lemma 3.1 only
+   guarantees ``T ≥ SC/2``, the implementation uses the 2k slack so the
+   chosen subtree provably holds ≥ k points) and push-pull traverse its
+   descendants for k candidates.
+3. Compute the smallest sphere around the query containing all candidates
+   (under the *exact* metric, on the CPU) and pick the lowest trace node
+   whose box contains it.
+4. Push-pull traverse that node's descendants, fetching every point that
+   can lie in the sphere.
+5. Filter on the CPU for the exact answer.
+
+Coarse/fine filtering (§6): UPMEM-like PIM cores multiply slowly (32
+cycles), so when the query metric is ℓ2 and ``config.fast_l2`` is on, the
+PIM-side work (steps 2 and 4) uses the ℓ1 norm — additions only — with the
+``√D`` anchoring bound guaranteeing the candidate superset; the CPU-side
+steps (3, 5) use exact ℓ2.  Disabling ``fast_l2`` (Table 3 ablation) runs
+ℓ2 directly on the PIM cores at the 32-cycle multiply cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .geometry import L1, L2, LINF, Metric, dist, dist_point_box
+from .node import Layer, Node
+from .push_pull import PushPullExecutor, Task
+from .search import search_batch
+
+__all__ = ["knn_batch"]
+
+_CPU_TRACE_OPS = 2
+_CPU_MERGE_OPS = 14  # per candidate heap merge step
+
+
+class _KnnState:
+    """Shared per-query state; only the CPU round-hook mutates it."""
+
+    __slots__ = ("q", "k", "cand_d", "cand_p")
+
+    def __init__(self, q: np.ndarray, k: int, dims: int) -> None:
+        self.q = q
+        self.k = k
+        self.cand_d = np.empty(0)
+        self.cand_p = np.empty((0, dims))
+
+    def radius(self) -> float:
+        """Current coarse pruning radius (k-th best coarse distance)."""
+        if len(self.cand_d) < self.k:
+            return math.inf
+        return float(self.cand_d[self.k - 1])
+
+
+def knn_batch(tree, queries: np.ndarray, k: int, metric: Metric = L2):
+    """Exact batched kNN; returns a list of ``(dists, points)`` per query."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    sys = tree.system
+    dims = tree.dims
+    use_anchor = tree.config.fast_l2 and metric.name == "l2"
+    coarse = L1 if use_anchor else metric
+    anchor_factor = math.sqrt(dims) if use_anchor else 1.0
+
+    with sys.phase("knn"):
+        results = search_batch(tree, queries, phase="knn")
+        states = [_KnnState(queries[i], k, dims) for i in range(len(queries))]
+
+        # ---- Step 2: candidate subtrees and coarse candidate search -----
+        tasks: list[Task] = []
+        for res in results:
+            sys.charge_cpu(len(res.trace) * _CPU_TRACE_OPS)
+            start = _lowest_with_sc(res.trace, 2 * k) or tree.root
+            _seed_from(tree, start, res.qid, states[res.qid], coarse, tasks,
+                       mode="candidates")
+        executor = PushPullExecutor(tree)
+        hook = _make_merge_hook(tree, states, k)
+        out = executor.run(tasks, _make_candidate_handler(tree, states, coarse, k),
+                           round_hook=hook)
+        hook(out)  # merge any CPU-seeded results not covered by rounds
+
+        # ---- Step 3: exact radius + sphere-covering trace node ----------
+        fetch_tasks: list[Task] = []
+        bounds: list[float] = []
+        exact_radii: list[float] = []
+        for res in results:
+            st = states[res.qid]
+            if len(st.cand_d) == 0:
+                r_exact = math.inf
+            else:
+                exact = np.sort(dist(st.cand_p, st.q, metric))
+                sys.charge_cpu(len(exact) * metric.cpu_ops_per_dim * dims)
+                kk = min(k, len(exact))
+                r_exact = float(exact[kk - 1]) if len(st.cand_d) >= k else math.inf
+            bound = r_exact * anchor_factor if math.isfinite(r_exact) else math.inf
+            bounds.append(bound)
+            exact_radii.append(r_exact)
+            n2 = _lowest_containing_sphere(tree, res.trace, st.q, r_exact)
+            sys.charge_cpu(len(res.trace) * _CPU_TRACE_OPS)
+            # Reset candidate store: step 4 re-fetches the full ball.
+            st.cand_d = np.empty(0)
+            st.cand_p = np.empty((0, dims))
+            _seed_from(tree, n2, res.qid, st, coarse, fetch_tasks,
+                       mode="fetch", bound=bound, r_exact=r_exact)
+
+        # ---- Step 4: fetch all points inside the (anchored) ball ---------
+        executor2 = PushPullExecutor(tree)
+        fetched = executor2.run(
+            fetch_tasks,
+            _make_fetch_handler(tree, states, coarse, bounds, exact_radii),
+        )
+        tree.last_executor = executor2
+
+        # ---- Step 5: exact filter on the CPU ------------------------------
+        answers = []
+        for res in results:
+            st = states[res.qid]
+            chunks = [st.cand_p] + [
+                pts for kind, pts in fetched.get(res.qid, []) if kind == "pts"
+            ]
+            allp = np.vstack([c for c in chunks if len(c)]) if any(
+                len(c) for c in chunks
+            ) else np.empty((0, dims))
+            if len(allp):
+                d = dist(allp, st.q, metric)
+                sys.charge_cpu(len(allp) * metric.cpu_ops_per_dim * dims)
+                order = np.argsort(d, kind="stable")[: min(k, len(d))]
+                sys.charge_cpu(len(allp) * max(1, int(np.log2(k + 1))))
+                answers.append((d[order], allp[order]))
+            else:
+                answers.append((np.empty(0), np.empty((0, dims))))
+    return answers
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _lowest_with_sc(trace: list[Node], threshold: int) -> Node | None:
+    for node in reversed(trace):
+        if node.sc >= threshold:
+            return node
+    return None
+
+
+def _lowest_containing_sphere(tree, trace: list[Node], q: np.ndarray, r: float
+                              ) -> Node:
+    if math.isfinite(r):
+        for node in reversed(trace):
+            if tree.node_box(node).contains_sphere(q, r):
+                return node
+    return tree.root
+
+
+def _seed_from(tree, start: Node, qid: int, state: _KnnState, coarse: Metric,
+               tasks: list[Task], *, mode: str, bound: float = math.inf,
+               r_exact: float = math.inf) -> None:
+    """Walk the L0 portion (on the host) and emit border tasks.
+
+    For ``mode="candidates"`` L0 leaves feed the candidate store directly;
+    for ``mode="fetch"`` they contribute points within the anchored bound
+    (ℓ1 ≤ √D·r) *and* the ℓ∞ secondary filter (ℓ∞ ≤ r — every true kNN
+    satisfies ℓ∞ ≤ ℓ2 ≤ r, and the extra compare-only test shrinks the
+    candidate superset from the ℓ1 cross-polytope to the r-cube).
+    """
+    sys = tree.system
+    send_words = tree.dims + 3
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node.layer != Layer.L0:
+            tasks.append(Task(qid, node.meta, node, None, send_words))
+            continue
+        sys.charge_cpu(4)
+        sys.touch_cpu_block(("pimzd", "l0", node.nid))
+        d = dist_point_box(state.q, tree.node_box(node), coarse)
+        prune_at = state.radius() if mode == "candidates" else bound
+        if d > prune_at:
+            continue
+        if mode == "fetch" and math.isfinite(r_exact):
+            if dist_point_box(state.q, tree.node_box(node), LINF) > r_exact:
+                continue
+        if node.is_leaf:
+            dd = dist(node.pts, state.q, coarse)
+            sys.charge_cpu(node.count * coarse.cpu_ops_per_dim * tree.dims)
+            if mode == "candidates":
+                _merge_into_state(state, dd, node.pts, state.k)
+            else:
+                mask = dd <= bound
+                if math.isfinite(r_exact):
+                    mask &= dist(node.pts, state.q, LINF) <= r_exact
+                if mask.any():
+                    _merge_points_into_state(state, node.pts[mask], dd[mask])
+            continue
+        stack.append(node.left)
+        stack.append(node.right)
+
+
+def _merge_into_state(state: _KnnState, dists: np.ndarray, pts: np.ndarray,
+                      k: int) -> None:
+    d = np.concatenate([state.cand_d, dists])
+    p = np.vstack([state.cand_p, pts]) if len(pts) else state.cand_p
+    order = np.argsort(d, kind="stable")[: min(k, len(d))]
+    state.cand_d = d[order]
+    state.cand_p = p[order]
+
+
+def _merge_points_into_state(state: _KnnState, pts: np.ndarray, dists: np.ndarray
+                             ) -> None:
+    state.cand_d = np.concatenate([state.cand_d, dists])
+    state.cand_p = np.vstack([state.cand_p, pts]) if len(state.cand_p) else pts.copy()
+
+
+def _make_candidate_handler(tree, states: list[_KnnState], coarse: Metric, k: int):
+    dims = tree.dims
+
+    def handler(task: Task, ctx) -> None:
+        state = states[task.qid]
+        radius = state.radius()  # stale within the round: BSP-consistent
+        local_d: list[np.ndarray] = []
+        local_p: list[np.ndarray] = []
+        stack = [task.node]
+        while stack:
+            node = stack.pop()
+            ctx.visit_node(node)
+            d = dist_point_box(state.q, tree.node_box(node), coarse)
+            ctx.extra_work(2 * dims, coarse.pim_cycles_per_dim * dims)
+            best_local = _kth_of(local_d, k)
+            if d > min(radius, best_local):
+                continue
+            if node.is_leaf:
+                ctx.scan_points(node.count, coarse, dims)
+                dd = dist(node.pts, state.q, coarse)
+                local_d.append(dd)
+                local_p.append(node.pts)
+                continue
+            for child in (node.left, node.right):
+                if ctx.local(child):
+                    stack.append(child)
+                else:
+                    ctx.emit(Task(task.qid, child.meta, child, None, dims + 3))
+        if local_d:
+            dcat = np.concatenate(local_d)
+            pcat = np.vstack(local_p)
+            order = np.argsort(dcat, kind="stable")[: min(k, len(dcat))]
+            ctx.extra_work(len(dcat) * 4, len(dcat) * 6)
+            ctx.return_words(len(order) * (dims + 1))
+            ctx.result(("cand", dcat[order], pcat[order]))
+
+    return handler
+
+
+def _kth_of(chunks: list[np.ndarray], k: int) -> float:
+    total = sum(len(c) for c in chunks)
+    if total < k:
+        return math.inf
+    return float(np.sort(np.concatenate(chunks))[k - 1])
+
+
+def _make_merge_hook(tree, states: list[_KnnState], k: int):
+    consumed: dict[int, int] = {}
+
+    def hook(results: dict[int, list]) -> None:
+        for qid, items in results.items():
+            start = consumed.get(qid, 0)
+            fresh = items[start:]
+            consumed[qid] = len(items)
+            for item in fresh:
+                if item[0] != "cand":
+                    continue
+                _, dd, pp = item
+                tree.system.charge_cpu(len(dd) * _CPU_MERGE_OPS)
+                _merge_into_state(states[qid], dd, pp, k)
+
+    return hook
+
+
+def _make_fetch_handler(tree, states: list[_KnnState], coarse: Metric,
+                        bounds: list[float], exact_radii: list[float]):
+    dims = tree.dims
+
+    def handler(task: Task, ctx) -> None:
+        state = states[task.qid]
+        bound = bounds[task.qid]
+        r_exact = exact_radii[task.qid]
+        use_linf = math.isfinite(r_exact) and coarse.name != "l2"
+        stack = [task.node]
+        collected: list[np.ndarray] = []
+        n_pts = 0
+        while stack:
+            node = stack.pop()
+            ctx.visit_node(node)
+            d = dist_point_box(state.q, tree.node_box(node), coarse)
+            ctx.extra_work(2 * dims, coarse.pim_cycles_per_dim * dims)
+            if d > bound:
+                continue
+            if use_linf:
+                ctx.extra_work(2 * dims, LINF.pim_cycles_per_dim * dims)
+                if dist_point_box(state.q, tree.node_box(node), LINF) > r_exact:
+                    continue
+            if node.is_leaf:
+                ctx.scan_points(node.count, coarse, dims)
+                dd = dist(node.pts, state.q, coarse)
+                mask = dd <= bound
+                if use_linf:
+                    ctx.scan_points(node.count, LINF, dims)
+                    mask &= dist(node.pts, state.q, LINF) <= r_exact
+                if mask.any():
+                    collected.append(node.pts[mask])
+                    n_pts += int(mask.sum())
+                continue
+            for child in (node.left, node.right):
+                if ctx.local(child):
+                    stack.append(child)
+                else:
+                    ctx.emit(Task(task.qid, child.meta, child, None, dims + 3))
+        if collected:
+            ctx.return_words(n_pts * dims)
+            ctx.result(("pts", np.vstack(collected)))
+
+    return handler

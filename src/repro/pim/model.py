@@ -1,0 +1,225 @@
+"""The PIM Model simulator: host CPU + P modules executing in BSP rounds.
+
+This is the substrate standing in for the UPMEM server (see DESIGN.md).
+The simulator is *functional*: the canonical index lives in host memory and
+every algorithm runs as ordinary Python, but each step declares where it
+would execute (CPU or a specific module) and what it would transfer, and
+the simulator accounts for it exactly as the PIM Model defines:
+
+* **CPU work/span** — ``charge_cpu``; CPU↔DRAM traffic flows through an
+  LRU LLC model (``touch_cpu_block`` / ``dram_stream``).
+* **PIM time** — within a BSP :meth:`round`, ``charge_pim(mid, cycles)``
+  accumulates per-module work; at round close the *maximum* over modules
+  is added (stragglers determine round completion, §2.1).
+* **Communication** — ``send``/``recv``/``broadcast`` inside a round count
+  words total and per-module; each round also counts two mux switches
+  (CPU→PIM and PIM→CPU handover [54]).
+
+Phases (:meth:`phase`) label charges for the Fig. 6 runtime breakdown.
+Placement (:meth:`place`) is the hash-based randomisation of §3: a salted
+deterministic hash, so layouts are reproducible under a fixed seed yet
+adversary-oblivious.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+
+import numpy as np
+
+from .cache import LRUCache
+from .module import PIMModule
+from .stats import PIMStats
+
+__all__ = ["PIMSystem"]
+
+_WORDS_PER_BLOCK = 8  # 64-byte cache blocks
+
+
+class PIMSystem:
+    """A host CPU plus ``n_modules`` PIM modules (the PIM Model, Fig. 2)."""
+
+    def __init__(
+        self,
+        n_modules: int,
+        *,
+        llc_bytes: int = 22 * 2**20,
+        module_capacity_words: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_modules < 1:
+            raise ValueError("need at least one PIM module")
+        self.n_modules = int(n_modules)
+        self.modules = [
+            PIMModule(mid, module_capacity_words) for mid in range(self.n_modules)
+        ]
+        self.llc = LRUCache(max(1, llc_bytes // 64), words_per_block=_WORDS_PER_BLOCK)
+        self.stats = PIMStats()
+        self.seed = seed
+        self._salt = str(seed).encode()
+        self._phase_stack: list[str] = []
+        self._in_round = False
+        self._round_dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, key) -> int:
+        """Deterministic salted-hash placement of ``key`` onto a module."""
+        digest = hashlib.blake2b(
+            repr(key).encode(), key=self._salt[:16], digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") % self.n_modules
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else "other"
+
+    @contextmanager
+    def phase(self, label: str):
+        """Attribute subsequent charges to ``label`` (nested: innermost wins)."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    def charge_cpu(self, ops: float, span: float = 0.0) -> None:
+        """Charge CPU work (instructions across all threads) and span."""
+        t = self.stats.total
+        t.cpu_ops += ops
+        t.cpu_span += span
+        p = self.stats.phase(self.current_phase)
+        p.cpu_ops += ops
+        p.cpu_span += span
+
+    def touch_cpu_block(self, block_id) -> bool:
+        """One CPU access to a 64-byte block; charges DRAM traffic on miss."""
+        hit = self.llc.touch(block_id)
+        if not hit:
+            self.stats.total.dram_words += _WORDS_PER_BLOCK
+            self.stats.phase(self.current_phase).dram_words += _WORDS_PER_BLOCK
+        return hit
+
+    def touch_cpu_range(self, base_id, n_blocks: int) -> None:
+        for i in range(int(n_blocks)):
+            self.touch_cpu_block((base_id, i))
+
+    def dram_stream(self, words: float) -> None:
+        """Streaming (non-cached) CPU↔DRAM transfer of ``words`` words."""
+        self.llc.streamed_words += int(words)
+        self.stats.total.dram_words += words
+        self.stats.phase(self.current_phase).dram_words += words
+
+    # ------------------------------------------------------------------
+    # BSP rounds / PIM side
+    # ------------------------------------------------------------------
+    @contextmanager
+    def round(self):
+        """One BSP round: PIM execution + CPU↔PIM transfers.
+
+        At close, the straggler's cycles (max over modules) are added to
+        PIM time; communication is totalled and its per-module maximum
+        recorded (the channel to one module is the bottleneck link).
+        """
+        if self._in_round:
+            raise RuntimeError("BSP rounds cannot nest")
+        self._in_round = True
+        self._round_dirty.clear()
+        try:
+            yield
+        finally:
+            self._in_round = False
+            max_cycles = 0.0
+            max_words = 0.0
+            total_words = 0.0
+            module_rounds = 0
+            for mid in self._round_dirty:
+                m = self.modules[mid]
+                if m.round_cycles > max_cycles:
+                    max_cycles = m.round_cycles
+                w = m.round_words
+                total_words += w
+                if w > 0:
+                    module_rounds += 1
+                if w > max_words:
+                    max_words = w
+                m.begin_round()
+            for counters in (self.stats.total, self.stats.phase(self.current_phase)):
+                counters.pim_cycles += max_cycles
+                counters.comm_words += total_words
+                counters.comm_max_words += max_words
+                counters.rounds += 1
+                counters.module_rounds += module_rounds
+            self.stats.mux_switches += 2
+
+    def _module_in_round(self, mid: int) -> PIMModule:
+        if not self._in_round:
+            raise RuntimeError("PIM activity is only legal inside a BSP round")
+        self._round_dirty.add(mid)
+        return self.modules[mid]
+
+    def charge_pim(self, mid: int, cycles: float) -> None:
+        """Charge PIM-core cycles on module ``mid`` in the current round."""
+        self._module_in_round(mid).charge(cycles)
+
+    def send(self, mid: int, words: float) -> None:
+        """CPU → module transfer of ``words`` words in the current round."""
+        self._module_in_round(mid).round_recv_words += words
+
+    def recv(self, mid: int, words: float) -> None:
+        """Module → CPU transfer of ``words`` words in the current round."""
+        self._module_in_round(mid).round_send_words += words
+
+    def charge_comm_flat(self, words: float) -> None:
+        """Charge CPU↔PIM words without binding them to a specific round.
+
+        Used for replication fan-out (lazy-counter syncs, cache refreshes)
+        whose destinations are spread across many modules; the per-module
+        maximum is approximated as an even spread.  Legal inside or outside
+        a round.
+        """
+        if words <= 0:
+            return
+        for counters in (self.stats.total, self.stats.phase(self.current_phase)):
+            counters.comm_words += words
+            counters.comm_max_words += words / self.n_modules
+
+    def broadcast(self, words_per_module: float) -> None:
+        """CPU → all modules (replication update); charged per module."""
+        for mid in range(self.n_modules):
+            self.send(mid, words_per_module)
+
+    # ------------------------------------------------------------------
+    # residency / reporting
+    # ------------------------------------------------------------------
+    def master_words(self) -> float:
+        return sum(m.master_words for m in self.modules)
+
+    def cache_words(self) -> float:
+        return sum(m.cache_words for m in self.modules)
+
+    def used_words(self) -> float:
+        return sum(m.used_words for m in self.modules)
+
+    def module_loads(self) -> np.ndarray:
+        """Cumulative PIM cycles per module (load-balance inspection)."""
+        return np.array([m.total_cycles for m in self.modules])
+
+    def residency(self) -> np.ndarray:
+        """Words resident per module."""
+        return np.array([m.used_words for m in self.modules])
+
+    def snapshot(self) -> PIMStats:
+        return self.stats.snapshot()
+
+    def reset_measurement(self) -> PIMStats:
+        """Snapshot used by the harness to measure a phase: ``end.diff(start)``."""
+        return self.snapshot()

@@ -1,0 +1,84 @@
+"""Per-module state for the PIM Model simulator.
+
+Each PIM module couples a weak general-purpose core with a private local
+memory (§2.1).  The simulator keeps the *canonical* data structure on the
+host process (this is a functional simulation); a module object tracks what
+the real module would hold and do: resident master/cache words, cycles
+executed in the current BSP round, and words exchanged with the CPU in the
+current round.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PIMModule"]
+
+
+class PIMModule:
+    """Accounting state of one PIM module."""
+
+    __slots__ = (
+        "mid",
+        "capacity_words",
+        "total_cycles",
+        "round_cycles",
+        "round_send_words",
+        "round_recv_words",
+        "master_words",
+        "cache_words",
+    )
+
+    def __init__(self, mid: int, capacity_words: int | None = None) -> None:
+        self.mid = mid
+        self.capacity_words = capacity_words
+        self.total_cycles = 0.0
+        self.round_cycles = 0.0
+        self.round_send_words = 0.0
+        self.round_recv_words = 0.0
+        # Residency: master copies vs cached (shared) copies, in words.
+        self.master_words = 0.0
+        self.cache_words = 0.0
+
+    # -- execution ------------------------------------------------------
+    def charge(self, cycles: float) -> None:
+        """Execute ``cycles`` of PIM-core work in the current round."""
+        self.round_cycles += cycles
+        self.total_cycles += cycles
+
+    def begin_round(self) -> None:
+        self.round_cycles = 0.0
+        self.round_send_words = 0.0
+        self.round_recv_words = 0.0
+
+    @property
+    def round_words(self) -> float:
+        return self.round_send_words + self.round_recv_words
+
+    # -- memory residency -----------------------------------------------
+    @property
+    def used_words(self) -> float:
+        return self.master_words + self.cache_words
+
+    def alloc_master(self, words: float) -> None:
+        self.master_words += words
+
+    def free_master(self, words: float) -> None:
+        self.master_words -= words
+        if self.master_words < -1e-9:
+            raise RuntimeError(f"module {self.mid}: master residency negative")
+
+    def alloc_cache(self, words: float) -> None:
+        self.cache_words += words
+
+    def free_cache(self, words: float) -> None:
+        self.cache_words -= words
+        if self.cache_words < -1e-9:
+            raise RuntimeError(f"module {self.mid}: cache residency negative")
+
+    def over_capacity(self) -> bool:
+        return self.capacity_words is not None and self.used_words > self.capacity_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PIMModule(mid={self.mid}, cycles={self.total_cycles:.0f}, "
+            f"master={self.master_words:.0f}w, cache={self.cache_words:.0f}w)"
+        )

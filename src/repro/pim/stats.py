@@ -1,0 +1,99 @@
+"""Execution counters for the PIM Model simulator.
+
+The PIM Model (Kang et al., SPAA'21) measures four quantities: CPU work,
+CPU span, total CPU↔PIM communication (in words), and *PIM time* — the sum
+over BSP rounds of the maximum per-module work in that round.  This module
+defines the counter containers the simulator fills in and the arithmetic
+(snapshot / diff) the evaluation harness uses to isolate a measured phase
+from warmup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseCounters", "PIMStats"]
+
+
+@dataclass
+class PhaseCounters:
+    """Counters attributed to one named phase (e.g. ``"search:l1"``)."""
+
+    cpu_ops: float = 0.0
+    cpu_span: float = 0.0
+    pim_cycles: float = 0.0  # Σ over rounds of max per-module cycles
+    comm_words: float = 0.0  # total CPU↔PIM words
+    comm_max_words: float = 0.0  # Σ over rounds of max per-module words
+    rounds: int = 0
+    module_rounds: float = 0.0  # (module, round) pairs that moved data
+    dram_words: float = 0.0  # CPU↔DRAM traffic from the LLC model
+
+    def add(self, other: "PhaseCounters") -> None:
+        self.cpu_ops += other.cpu_ops
+        self.cpu_span += other.cpu_span
+        self.pim_cycles += other.pim_cycles
+        self.comm_words += other.comm_words
+        self.comm_max_words += other.comm_max_words
+        self.rounds += other.rounds
+        self.module_rounds += other.module_rounds
+        self.dram_words += other.dram_words
+
+    def copy(self) -> "PhaseCounters":
+        return PhaseCounters(
+            self.cpu_ops,
+            self.cpu_span,
+            self.pim_cycles,
+            self.comm_words,
+            self.comm_max_words,
+            self.rounds,
+            self.module_rounds,
+            self.dram_words,
+        )
+
+    def diff(self, earlier: "PhaseCounters") -> "PhaseCounters":
+        return PhaseCounters(
+            self.cpu_ops - earlier.cpu_ops,
+            self.cpu_span - earlier.cpu_span,
+            self.pim_cycles - earlier.pim_cycles,
+            self.comm_words - earlier.comm_words,
+            self.comm_max_words - earlier.comm_max_words,
+            self.rounds - earlier.rounds,
+            self.module_rounds - earlier.module_rounds,
+            self.dram_words - earlier.dram_words,
+        )
+
+
+@dataclass
+class PIMStats:
+    """Aggregate counters for a whole simulated execution.
+
+    ``total`` accumulates everything; ``phases`` splits the same quantities
+    by the phase label active when they were charged (used for the Fig. 6
+    runtime-breakdown reproduction).
+    """
+
+    total: PhaseCounters = field(default_factory=PhaseCounters)
+    phases: dict[str, PhaseCounters] = field(default_factory=dict)
+    mux_switches: int = 0
+
+    def phase(self, label: str) -> PhaseCounters:
+        if label not in self.phases:
+            self.phases[label] = PhaseCounters()
+        return self.phases[label]
+
+    def snapshot(self) -> "PIMStats":
+        snap = PIMStats(total=self.total.copy(), mux_switches=self.mux_switches)
+        snap.phases = {k: v.copy() for k, v in self.phases.items()}
+        return snap
+
+    def diff(self, earlier: "PIMStats") -> "PIMStats":
+        out = PIMStats(
+            total=self.total.diff(earlier.total),
+            mux_switches=self.mux_switches - earlier.mux_switches,
+        )
+        labels = set(self.phases) | set(earlier.phases)
+        for label in labels:
+            a = self.phases.get(label, PhaseCounters())
+            b = earlier.phases.get(label, PhaseCounters())
+            out.phases[label] = a.diff(b)
+        return out

@@ -1,0 +1,22 @@
+"""Workload generators and skew statistics for the §7 experiments."""
+
+from .generators import (
+    cosmos_like_points,
+    osm_like_points,
+    uniform_points,
+    varden_points,
+    zipf_mix_queries,
+)
+from .skew import bin_points, gini_coefficient, max_alpha, zipf_exponent_fit
+
+__all__ = [
+    "bin_points",
+    "cosmos_like_points",
+    "gini_coefficient",
+    "max_alpha",
+    "osm_like_points",
+    "uniform_points",
+    "varden_points",
+    "zipf_exponent_fit",
+    "zipf_mix_queries",
+]

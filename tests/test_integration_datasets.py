@@ -1,0 +1,96 @@
+"""End-to-end integration on the paper's (synthetic) real-world datasets.
+
+These tests run the full §7.2 workflow — warmup build, mixed update and
+query batches — on COSMOS-like and OSM-like data with both Table 2
+configurations, checking exactness against brute force and the structural
+invariants throughout.  They are the closest thing to the paper's
+real-dataset runs at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Box, PIMZdTree, skew_resistant, throughput_optimized
+from repro.pim import PIMSystem
+from repro.workloads import cosmos_like_points, osm_like_points
+
+from conftest import (
+    assert_same_points,
+    brute_box_count,
+    brute_knn,
+)
+
+
+DATASETS = {
+    "cosmos": cosmos_like_points,
+    "osm": osm_like_points,
+}
+
+
+@pytest.mark.parametrize("dataset", ["cosmos", "osm"])
+@pytest.mark.parametrize("variant", ["throughput", "skew"])
+class TestRealWorldLike:
+    def _tree(self, data, variant, n_modules=8):
+        system = PIMSystem(n_modules, seed=2)
+        cfg = (
+            throughput_optimized(len(data), n_modules)
+            if variant == "throughput"
+            else skew_resistant(n_modules)
+        )
+        return PIMZdTree(data, config=cfg, system=system)
+
+    def test_warmup_then_query_mix(self, dataset, variant):
+        gen = DATASETS[dataset]
+        data = gen(6000, 3, seed=5)
+        warm, test = data[:4800], data[4800:]  # the paper's 80/20 split
+        tree = self._tree(warm, variant)
+        tree.check_invariants()
+
+        # Batch insert of the held-out 20%.
+        tree.insert(test)
+        tree.check_invariants()
+        assert tree.size == 6000
+        assert_same_points(tree.all_points(), data)
+
+        # kNN at data-driven query points is exact even under skew.
+        rng = np.random.default_rng(9)
+        queries = data[rng.integers(0, len(data), 6)]
+        for q, (d, _) in zip(queries, tree.knn(queries, 10)):
+            np.testing.assert_allclose(d, brute_knn(data, q, 10), atol=1e-12)
+
+        # Data-centred boxes.
+        for q in queries[:3]:
+            box = Box(np.maximum(q - 0.05, 0), np.minimum(q + 0.05, 1))
+            assert tree.box_count([box])[0] == brute_box_count(data, box)
+
+    def test_churn_preserves_exactness(self, dataset, variant):
+        gen = DATASETS[dataset]
+        data = gen(5000, 3, seed=11)
+        tree = self._tree(data[:3500], variant)
+        live = data[:3500]
+        tree.insert(data[3500:])
+        live = data
+        removed = tree.delete(data[:1200])
+        live = data[1200:] if removed == 1200 else None
+        tree.check_invariants()
+        if live is not None:
+            assert_same_points(tree.all_points(), live)
+            q = data[2000]
+            d, _ = tree.knn(q.reshape(1, -1), 7)[0]
+            np.testing.assert_allclose(d, brute_knn(live, q, 7), atol=1e-12)
+
+    def test_load_stays_bounded_under_dataset_skew(self, dataset, variant):
+        """Hash placement + push-pull keep modules from melting even on
+        heavily skewed data distributions."""
+        gen = DATASETS[dataset]
+        data = gen(8000, 3, seed=3)
+        tree = self._tree(data, variant, n_modules=16)
+        base = tree.system.module_loads().copy()
+        rng = np.random.default_rng(4)
+        q = data[rng.integers(0, len(data), 1024)]
+        tree.search(q)
+        loads = tree.system.module_loads() - base
+        if loads.max() > 0:
+            # Generous bound: the straggler must not dominate by orders of
+            # magnitude (range partitioning without hashing would).
+            assert loads.max() <= 20 * max(loads.mean(), 1e-9)

@@ -1,0 +1,71 @@
+"""Tests for the structural introspection module."""
+
+import numpy as np
+import pytest
+
+from repro.core import PIMZdTree, TreeStats, skew_resistant, throughput_optimized, tree_stats
+from repro.pim import PIMSystem
+
+
+@pytest.fixture
+def tree(rng):
+    return PIMZdTree(
+        rng.random((4000, 3)),
+        config=skew_resistant(8),
+        system=PIMSystem(8, seed=1),
+    )
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, tree):
+        s = tree.stats()
+        assert isinstance(s, TreeStats)
+        assert s.n_points == tree.size
+        assert s.n_nodes == tree.num_nodes()
+        assert s.height == tree.height()
+        assert s.n_leaves == (s.n_nodes + 1) // 2  # compressed binary tree
+
+    def test_layer_partition(self, tree):
+        s = tree.stats()
+        assert sum(s.nodes_per_layer.values()) == s.n_nodes
+        assert sum(s.points_per_layer.values()) == s.n_points
+
+    def test_meta_partition(self, tree):
+        s = tree.stats()
+        assert s.n_metas == len(tree.metas)
+        assert s.dense_metas + s.sparse_metas == s.n_metas
+        assert sum(s.metas_per_layer.values()) == s.n_metas
+        assert s.meta_nodes_max >= s.meta_nodes_mean
+
+    def test_space_matches_tree(self, tree):
+        s = tree.stats()
+        space = tree.space_words()
+        assert s.master_words == space["master"]
+        assert s.cache_words == space["cache"]
+
+    def test_summary_renders(self, tree):
+        text = tree.stats().summary()
+        assert "points=4,000" in text
+        assert "meta-nodes" in text
+
+    def test_updates_reflected(self, tree, rng):
+        before = tree.stats()
+        tree.insert(rng.random((1000, 3)))
+        after = tree.stats()
+        assert after.n_points == before.n_points + 1000
+        assert after.master_words > before.master_words
+
+    def test_throughput_config_one_meta_per_region(self, rng):
+        pts = rng.random((4000, 3))
+        t = PIMZdTree(
+            pts,
+            config=throughput_optimized(4000, 8),
+            system=PIMSystem(8, seed=1),
+        )
+        s = t.stats()
+        # One chunk per L0-border subtree: meta count ≈ region count ≪ nodes.
+        assert s.n_metas < s.n_nodes / 10
+        assert s.metas_per_layer.get("L2", 0) == 0
+
+    def test_standalone_function(self, tree):
+        assert tree_stats(tree).n_points == tree.stats().n_points

@@ -1,0 +1,126 @@
+"""Tests for the lazy counter protocol (§3.4, Table 1, Lemma 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PIMZdTree, skew_resistant, throughput_optimized
+from repro.core.node import Layer
+from repro.pim import PIMSystem
+
+
+def make_tree(points, variant="skew", n_modules=8, seed=1, **cfg_over):
+    system = PIMSystem(n_modules, seed=seed)
+    if variant == "throughput":
+        cfg = throughput_optimized(len(points), n_modules, **cfg_over)
+    else:
+        cfg = skew_resistant(n_modules, **cfg_over)
+    return PIMZdTree(points, config=cfg, system=system)
+
+
+def walk(tree):
+    stack = [tree.root]
+    while stack:
+        n = stack.pop()
+        yield n
+        if not n.is_leaf:
+            stack.extend((n.left, n.right))
+
+
+class TestLemma31:
+    """SC must stay within [T/2, 2T] at all times (Lemma 3.1)."""
+
+    @pytest.mark.parametrize("variant", ["throughput", "skew"])
+    def test_after_insert_storm(self, rng, variant):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts[:1000], variant)
+        for i in range(1000, 3000, 250):
+            tree.insert(pts[i : i + 250])
+            for n in walk(tree):
+                if n.count > 0:
+                    assert n.count / 2 <= n.sc <= 2 * n.count, (
+                        f"{n}: sc={n.sc} count={n.count}"
+                    )
+
+    def test_after_deletions(self, rng):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts, "skew")
+        for i in range(0, 2000, 400):
+            tree.delete(pts[i : i + 400])
+            for n in walk(tree):
+                if n.count > 0:
+                    assert n.count / 2 <= n.sc <= 2 * n.count
+
+    def test_skewed_hotspot_inserts(self, rng):
+        """Inserts hammering one corner must not break the bound."""
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, "skew")
+        hot = rng.random((1500, 3)) * 0.02
+        for i in range(0, 1500, 300):
+            tree.insert(hot[i : i + 300])
+            for n in walk(tree):
+                if n.count > 0:
+                    assert n.count / 2 <= n.sc <= 2 * n.count
+
+
+class TestSyncBehaviour:
+    def test_l2_nodes_always_exact(self, rng):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, "skew")
+        tree.insert(rng.random((500, 3)))
+        for n in walk(tree):
+            if n.layer == Layer.L2:
+                assert n.sc == n.count
+                assert n.delta == 0
+
+    def test_l0_nodes_lag_within_delta(self, rng):
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew")
+        tree.insert(rng.random((300, 3)))
+        dmin, dmax = tree.config.lazy_delta_bounds(0)
+        for n in walk(tree):
+            if n.layer == Layer.L0:
+                assert dmin < n.delta < dmax
+
+    def test_eager_mode_keeps_exact_everywhere(self, rng):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, "skew", lazy_counters=False)
+        tree.insert(rng.random((400, 3)))
+        tree.delete(pts[:200])
+        for n in walk(tree):
+            assert n.sc == n.count
+
+    def test_eager_mode_costs_more_sync_traffic(self, rng):
+        """Table 3: removing lazy counters slows INSERT (more replica
+        sync traffic)."""
+        pts = rng.random((4000, 3))
+        batch = rng.random((1000, 3))
+
+        def insert_comm(lazy: bool) -> float:
+            tree = make_tree(pts, "skew", lazy_counters=lazy)
+            snap = tree.system.snapshot()
+            tree.insert(batch)
+            return tree.system.stats.diff(snap).total.comm_words
+
+        assert insert_comm(False) > insert_comm(True)
+
+    def test_record_count_change_sync_thresholds(self, rng):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts, "skew")
+        # Pick an L0 node and apply changes below/above the threshold.
+        node = tree.root
+        assert node.layer == Layer.L0
+        dmin, dmax = tree.config.lazy_delta_bounds(0)
+        sc_before = node.sc
+        synced = tree.record_count_change(node, int(dmax) - 1)
+        assert not synced and node.sc == sc_before
+        synced = tree.record_count_change(node, 1)  # reaches dmax
+        assert synced and node.sc == node.count and node.delta == 0
+        # Undo the artificial change to keep the structure consistent.
+        tree.record_count_change(node, -int(dmax))
+        tree.sync_counter(node)
+
+    def test_zero_delta_no_sync(self, rng):
+        pts = rng.random((1000, 3))
+        tree = make_tree(pts, "skew")
+        node = tree.root
+        assert not tree.record_count_change(node, 0)

@@ -1,0 +1,319 @@
+"""Correctness tests for PIM-zd-tree operations (§4) against oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import L1, L2, Box, PIMZdTree, skew_resistant, throughput_optimized
+from repro.pim import PIMSystem
+
+from conftest import (
+    assert_same_points,
+    brute_box_count,
+    brute_box_points,
+    brute_knn,
+)
+
+
+def make_tree(points, variant="throughput", n_modules=16, seed=1, **cfg_over):
+    system = PIMSystem(n_modules, seed=seed)
+    if variant == "throughput":
+        cfg = throughput_optimized(len(points), n_modules, **cfg_over)
+    else:
+        cfg = skew_resistant(n_modules, **cfg_over)
+    return PIMZdTree(points, config=cfg, system=system)
+
+
+VARIANTS = ["throughput", "skew"]
+
+
+class TestSearch:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_search_finds_containing_leaf(self, rng, variant):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, variant)
+        results = tree.search(pts[:100])
+        for res in results:
+            assert res.leaf is not None
+            lo, hi = res.leaf.key_range(tree.key_bits)
+            assert lo <= res.key < hi
+            assert res.trace, "trace must be recorded"
+            assert res.trace[-1] is res.leaf
+
+    def test_search_reports_edge_divergence(self, rng):
+        # A cluster far from a lone outlier guarantees compressed edges.
+        pts = np.vstack([rng.random((500, 2)) * 0.01, [[0.9, 0.9]]])
+        tree = make_tree(pts, "skew", n_modules=4)
+        probe = np.array([[0.5, 0.1]])
+        res = tree.search(probe)[0]
+        assert (res.leaf is None) != (res.edge is None)
+
+    def test_trace_is_root_path(self, rng):
+        pts = rng.random((1500, 3))
+        tree = make_tree(pts, "skew")
+        res = tree.search(pts[:5])
+        for r in res:
+            assert r.trace[0] is tree.root
+            for a, b in zip(r.trace, r.trace[1:]):
+                assert b.parent is a
+
+
+class TestInsert:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_insert_preserves_multiset(self, rng, variant):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts[:1500], variant)
+        tree.insert(pts[1500:])
+        tree.check_invariants()
+        assert tree.size == 3000
+        assert_same_points(tree.all_points(), pts)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_many_small_batches(self, rng, variant):
+        pts = rng.random((2400, 3))
+        tree = make_tree(pts[:800], variant, n_modules=8)
+        for i in range(800, 2400, 200):
+            tree.insert(pts[i : i + 200])
+            tree.check_invariants()
+        assert_same_points(tree.all_points(), pts)
+
+    def test_insert_duplicates(self, rng):
+        pts = rng.random((500, 3))
+        tree = make_tree(pts, "skew")
+        tree.insert(pts[:100])
+        tree.check_invariants()
+        assert tree.size == 600
+
+    def test_insert_identical_point_flood(self, rng):
+        """Many copies of one point: oversized single-key leaf allowed."""
+        pts = rng.random((400, 3))
+        tree = make_tree(pts, "skew")
+        flood = np.tile(pts[0], (200, 1))
+        tree.insert(flood)
+        tree.check_invariants()
+        assert tree.size == 600
+
+    def test_insert_empty(self, rng):
+        tree = make_tree(rng.random((300, 3)))
+        tree.insert(np.empty((0, 3)))
+        assert tree.size == 300
+
+    def test_insert_dimension_mismatch(self, rng):
+        tree = make_tree(rng.random((300, 3)))
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros((1, 2)))
+
+    def test_edge_splits_from_sparse_clusters(self, rng):
+        """Inserts landing in empty space split compressed edges."""
+        cluster = rng.random((800, 2)) * 0.01 + 0.99
+        tree = make_tree(cluster, "skew", n_modules=4)
+        spread = rng.random((400, 2)) * 0.5
+        tree.insert(spread)
+        tree.check_invariants()
+        assert_same_points(tree.all_points(), np.vstack([cluster, spread]))
+
+    def test_growth_triggers_promotions(self, rng):
+        """Doubling the data must move the L0 border downward (step 3d)."""
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, "throughput", n_modules=8)
+        n_l0_before = len(tree.l0_nodes())
+        extra = rng.random((4000, 3))
+        for i in range(0, 4000, 500):
+            tree.insert(extra[i : i + 500])
+        tree.check_invariants()
+        assert len(tree.l0_nodes()) > n_l0_before
+
+
+class TestDelete:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_delete_exact(self, rng, variant):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, variant)
+        removed = tree.delete(pts[:700])
+        assert removed == 700
+        tree.check_invariants()
+        assert_same_points(tree.all_points(), pts[700:])
+
+    def test_delete_missing_points(self, rng):
+        pts = rng.random((500, 3))
+        tree = make_tree(pts, "skew")
+        assert tree.delete(rng.random((50, 3)) + 5.0) == 0
+
+    def test_delete_duplicates_all_copies(self, rng):
+        dup = np.full((6, 3), 0.3)
+        pts = np.vstack([dup, rng.random((300, 3))])
+        tree = make_tree(pts, "skew")
+        assert tree.delete(dup[:1]) == 6
+        tree.check_invariants()
+
+    def test_delete_then_insert_roundtrip(self, rng):
+        pts = rng.random((1200, 3))
+        tree = make_tree(pts, "skew", n_modules=8)
+        tree.delete(pts[:400])
+        tree.insert(pts[:400])
+        tree.check_invariants()
+        assert_same_points(tree.all_points(), pts)
+
+    def test_delete_cannot_empty(self, rng):
+        pts = rng.random((20, 3))
+        tree = make_tree(pts, "throughput", n_modules=2)
+        with pytest.raises(ValueError):
+            tree.delete(pts)
+
+    def test_heavy_delete_triggers_demotions(self, rng):
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew", n_modules=8)
+        tree.delete(pts[:3000])
+        tree.check_invariants()
+        assert tree.size == 1000
+
+
+class TestKnn:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("k", [1, 10, 40])
+    def test_exact_vs_brute(self, rng, variant, k):
+        pts = rng.random((2500, 3))
+        tree = make_tree(pts, variant)
+        queries = pts[rng.integers(0, len(pts), 12)] + rng.normal(
+            scale=1e-3, size=(12, 3)
+        )
+        out = tree.knn(queries, k)
+        for q, (d, nn) in zip(queries, out):
+            np.testing.assert_allclose(d, brute_knn(pts, q, k), atol=1e-12)
+
+    def test_l1_metric_exact(self, rng):
+        pts = rng.random((1500, 3))
+        tree = make_tree(pts, "skew")
+        q = pts[7]
+        d, _ = tree.knn(q, 9, metric=L1)[0]
+        np.testing.assert_allclose(d, brute_knn(pts, q, 9, metric=L1))
+
+    def test_fast_l2_off_still_exact(self, rng):
+        pts = rng.random((1500, 3))
+        tree = make_tree(pts, "skew", fast_l2=False)
+        q = pts[3]
+        d, _ = tree.knn(q, 15)[0]
+        np.testing.assert_allclose(d, brute_knn(pts, q, 15))
+
+    def test_k_exceeds_tree_size(self, rng):
+        pts = rng.random((30, 3))
+        tree = make_tree(pts, "throughput", n_modules=2)
+        d, nn = tree.knn(pts[:1], 100)[0]
+        assert len(d) == 30
+
+    def test_far_query(self, rng):
+        pts = rng.random((1000, 3))
+        tree = make_tree(pts, "skew")
+        q = np.array([5.0, 5.0, 5.0])
+        d, _ = tree.knn(q.reshape(1, -1), 4)[0]
+        np.testing.assert_allclose(d, brute_knn(pts, q, 4))
+
+    def test_2d_exact(self, rng):
+        pts = rng.random((1500, 2))
+        tree = make_tree(pts, "throughput")
+        q = pts[42]
+        d, _ = tree.knn(q, 6)[0]
+        np.testing.assert_allclose(d, brute_knn(pts, q, 6))
+
+    def test_after_updates(self, rng):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts[:1200], "skew", n_modules=8)
+        tree.insert(pts[1200:])
+        tree.delete(pts[:500])
+        live = pts[500:]
+        q = pts[1500]
+        d, _ = tree.knn(q, 8)[0]
+        np.testing.assert_allclose(d, brute_knn(live, q, 8))
+
+    def test_invalid_k(self, rng):
+        tree = make_tree(rng.random((100, 3)))
+        with pytest.raises(ValueError):
+            tree.knn(np.zeros((1, 3)), 0)
+
+    def test_duplicate_points_returned(self, rng):
+        dup = np.full((5, 3), 0.4)
+        pts = np.vstack([dup, rng.random((500, 3))])
+        tree = make_tree(pts, "skew")
+        d, nn = tree.knn(np.full((1, 3), 0.4), 5)[0]
+        np.testing.assert_allclose(d, np.zeros(5), atol=1e-12)
+
+
+class TestBoxQueries:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_count_exact(self, rng, variant):
+        pts = rng.random((2500, 3))
+        tree = make_tree(pts, variant)
+        boxes = []
+        for _ in range(15):
+            c = rng.random(3)
+            w = rng.random(3) * 0.3
+            boxes.append(Box(np.maximum(c - w, 0), np.minimum(c + w, 1)))
+        counts = tree.box_count(boxes)
+        for box, got in zip(boxes, counts):
+            assert got == brute_box_count(pts, box)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_fetch_exact(self, rng, variant):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, variant)
+        c = rng.random(3)
+        box = Box(np.maximum(c - 0.2, 0), np.minimum(c + 0.2, 1))
+        got = tree.box_fetch([box])[0]
+        assert_same_points(got, brute_box_points(pts, box))
+
+    def test_whole_domain(self, rng):
+        pts = rng.random((1500, 3))
+        tree = make_tree(pts, "skew")
+        box = Box(np.full(3, -1.0), np.full(3, 2.0))
+        assert tree.box_count([box])[0] == 1500
+        assert len(tree.box_fetch([box])[0]) == 1500
+
+    def test_empty_boxes(self, rng):
+        pts = rng.random((800, 3))
+        tree = make_tree(pts, "throughput")
+        box = Box(np.full(3, 5.0), np.full(3, 6.0))
+        assert tree.box_count([box])[0] == 0
+        assert len(tree.box_fetch([box])[0]) == 0
+
+    def test_box_count_exact_after_updates(self, rng):
+        """BoxCount must stay exact even while lazy counters are stale."""
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts[:1500], "skew", n_modules=8)
+        tree.insert(pts[1500:])
+        tree.delete(pts[:300])
+        live = pts[300:]
+        box = Box(np.full(3, 0.25), np.full(3, 0.75))
+        assert tree.box_count([box])[0] == brute_box_count(live, box)
+
+    def test_tuple_boxes_accepted(self, rng):
+        pts = rng.random((500, 2))
+        tree = make_tree(pts, "throughput")
+        got = tree.box_count([(np.zeros(2), np.ones(2))])
+        assert got[0] == 500
+
+    def test_dimension_mismatch(self, rng):
+        tree = make_tree(rng.random((100, 3)))
+        with pytest.raises(ValueError):
+            tree.box_count([Box(np.zeros(2), np.ones(2))])
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_long_interleaving_matches_oracle(self, rng, variant):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts[:1000], variant, n_modules=8)
+        live = pts[:1000]
+        # insert / delete / query rounds
+        tree.insert(pts[1000:1800])
+        live = np.vstack([live, pts[1000:1800]])
+        tree.delete(pts[300:600])
+        live = np.vstack([live[:300], live[600:]])
+        tree.insert(pts[1800:2600])
+        live = np.vstack([live, pts[1800:2600]])
+        tree.check_invariants()
+        assert_same_points(tree.all_points(), live)
+        # queries
+        q = pts[2000]
+        d, _ = tree.knn(q, 11)[0]
+        np.testing.assert_allclose(d, brute_knn(live, q, 11))
+        box = Box(np.full(3, 0.1), np.full(3, 0.6))
+        assert tree.box_count([box])[0] == brute_box_count(live, box)

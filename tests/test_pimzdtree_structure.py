@@ -1,0 +1,298 @@
+"""Structural tests for PIM-zd-tree: layers, chunking, residency, space."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Layer,
+    PIMZdTree,
+    PIMZdTreeConfig,
+    skew_resistant,
+    throughput_optimized,
+)
+from repro.core.chunking import iter_meta_subtree
+from repro.core.node import node_words
+from repro.pim import PIMSystem
+
+
+def make_tree(points, variant="throughput", n_modules=16, seed=1, **cfg_over):
+    system = PIMSystem(n_modules, seed=seed)
+    if variant == "throughput":
+        cfg = throughput_optimized(len(points), n_modules, **cfg_over)
+    else:
+        cfg = skew_resistant(n_modules, **cfg_over)
+    return PIMZdTree(points, config=cfg, system=system)
+
+
+class TestConfig:
+    def test_thresholds_order_enforced(self):
+        with pytest.raises(ValueError):
+            PIMZdTreeConfig("bad", theta_l0=4, theta_l1=8, chunk_factor=2)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            PIMZdTreeConfig("bad", theta_l0=4, theta_l1=0, chunk_factor=2)
+        with pytest.raises(ValueError):
+            PIMZdTreeConfig("bad", theta_l0=4, theta_l1=1, chunk_factor=0)
+        with pytest.raises(ValueError):
+            PIMZdTreeConfig("bad", theta_l0=4, theta_l1=1, chunk_factor=2, leaf_size=0)
+
+    def test_throughput_optimized_shape(self):
+        cfg = throughput_optimized(100_000, 64)
+        assert cfg.theta_l1 == 1
+        assert cfg.chunk_factor == cfg.theta_l0
+        assert cfg.theta_l0 >= 100_000 // 64
+
+    def test_skew_resistant_shape(self):
+        cfg = skew_resistant(64)
+        assert cfg.chunk_factor == 16
+        assert cfg.theta_l0 >= 4 * 64
+        assert 2 <= cfg.theta_l1 < cfg.theta_l0
+
+    def test_pull_thresholds(self):
+        cfg = skew_resistant(64)
+        assert cfg.pull_threshold_l2 == cfg.chunk_factor
+        assert cfg.pull_threshold_l1 >= cfg.chunk_factor
+
+    def test_lazy_bounds_table1(self):
+        cfg = skew_resistant(64)
+        dmin, dmax = cfg.lazy_delta_bounds(0)
+        assert dmin == -cfg.theta_l0 / 2 and dmax == cfg.theta_l0
+        dmin1, dmax1 = cfg.lazy_delta_bounds(1)
+        assert dmax1 <= cfg.theta_l1 and dmin1 == -0.5 * dmax1
+        assert cfg.lazy_delta_bounds(2) == (0.0, 0.0)
+
+    def test_lazy_disabled_bounds(self):
+        cfg = skew_resistant(64, lazy_counters=False)
+        assert cfg.lazy_delta_bounds(0) == (0.0, 0.0)
+
+    def test_with_overrides(self):
+        cfg = throughput_optimized(1000, 8).with_overrides(fast_l2=False)
+        assert not cfg.fast_l2
+
+
+class TestLayers:
+    @pytest.mark.parametrize("variant", ["throughput", "skew"])
+    def test_invariants(self, rng, variant):
+        tree = make_tree(rng.random((4000, 3)), variant)
+        tree.check_invariants()
+
+    def test_layer_monotone_on_paths(self, rng):
+        tree = make_tree(rng.random((4000, 3)), "skew")
+
+        def rec(node):
+            if node.is_leaf:
+                return
+            assert node.left.layer >= node.layer
+            assert node.right.layer >= node.layer
+            rec(node.left)
+            rec(node.right)
+
+        rec(tree.root)
+
+    def test_l0_counts_exceed_threshold(self, rng):
+        tree = make_tree(rng.random((4000, 3)), "skew", n_modules=8)
+        for node in tree.l0_nodes():
+            assert node.sc >= tree.config.theta_l0
+
+    def test_root_is_l0_for_large_tree(self, rng):
+        tree = make_tree(rng.random((4000, 3)), "skew", n_modules=8)
+        assert tree.root.layer == Layer.L0
+
+    def test_tiny_tree_has_no_l0(self, rng):
+        tree = make_tree(rng.random((40, 3)), "skew", n_modules=8)
+        # 40 < theta_l0=32? theta_l0 = 4*8 = 32; root count 40 >= 32 → L0.
+        # Use an even smaller tree.
+        tree2 = make_tree(rng.random((20, 3)), "skew", n_modules=8)
+        assert tree2.root.layer != Layer.L0 or tree2.root.sc >= tree2.config.theta_l0
+        tree2.check_invariants()
+
+    def test_throughput_config_has_no_l2(self, rng):
+        tree = make_tree(rng.random((4000, 3)), "throughput")
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            assert n.layer != Layer.L2  # theta_l1 = 1 → L2 empty
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+
+
+class TestChunking:
+    def test_every_non_l0_node_has_meta(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            if n.layer == Layer.L0:
+                assert n.meta is None
+            else:
+                assert n.meta is not None and n.meta in tree.metas
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+
+    def test_meta_layer_homogeneous(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            if n.meta is not None:
+                assert n.meta.layer == n.layer
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+
+    def test_throughput_one_meta_per_region(self, rng):
+        """B = θ_L0 → each L0-border subtree is a single meta-node."""
+        tree = make_tree(rng.random((4000, 3)), "throughput", n_modules=8)
+        regions = tree._region_roots_below(tree.root)
+        # Each region root's meta holds its entire subtree.
+        for rr in regions:
+            stack = [rr]
+            while stack:
+                n = stack.pop()
+                assert n.meta is rr.meta
+                if not n.is_leaf:
+                    stack.extend((n.left, n.right))
+
+    def test_chunk_rule_respected_at_build(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        B = tree.config.chunk_factor
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            if n.meta is not None and n.meta.root is not n:
+                parent = n.parent
+                if parent is not None and parent.meta is n.meta:
+                    # Member rule: sc > root.sc / B at build time.
+                    assert n.sc > tree._meta_built_sc.get(n.meta, n.meta.root.sc) / B \
+                        or n.sc > n.meta.root.sc / B
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+
+    def test_meta_node_counts_match(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        from collections import Counter
+
+        counted = Counter()
+        payload = Counter()
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            if n.meta is not None:
+                counted[id(n.meta)] += 1
+                payload[id(n.meta)] += node_words(n, tree.dims)
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+        for m in tree.metas:
+            assert m.n_nodes == counted[id(m)]
+            assert m.payload_words == payload[id(m)]
+
+    def test_meta_tree_links(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        tops = 0
+        for m in tree.metas:
+            if m.parent is None:
+                tops += 1
+            else:
+                assert m in m.parent.children
+        assert tops >= 1
+
+    def test_sparse_dense_modes(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        cfg = tree.config
+        seen_sparse = seen_dense = False
+        for m in tree.metas:
+            if m.dense(cfg):
+                seen_dense = True
+                assert m.n_nodes >= cfg.chunk_factor // 4
+                assert m.cycles_per_node(cfg) < 14
+            else:
+                seen_sparse = True
+        assert seen_sparse  # small leaf chunks exist
+        assert seen_dense  # the larger L1 chunks exist
+
+    def test_chunking_disabled_gives_singletons(self, rng):
+        tree = make_tree(
+            rng.random((500, 3)), "skew", chunk_factor=1
+        )
+        for m in tree.metas:
+            assert m.n_nodes == 1
+
+    def test_l1_replica_counts(self, rng):
+        tree = make_tree(rng.random((4000, 3)), "skew", n_modules=8)
+        for m in tree.metas:
+            if m.layer == Layer.L1:
+                copies = m.replica_count()
+                anc = len(m.l1_ancestors())
+                desc = sum(
+                    1 for x in iter_meta_subtree(m)
+                    if x is not m and x.layer == Layer.L1
+                )
+                assert copies == anc + desc
+            else:
+                assert m.replica_count() == 0
+
+
+class TestResidencyAndSpace:
+    def test_master_words_match_meta_sizes(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "skew")
+        expected = sum(m.size_words(tree.config) for m in tree.metas)
+        assert tree.system.master_words() == pytest.approx(expected)
+
+    def test_space_theorem_linear(self, rng):
+        """Theorem 5.1: total space is O(n) for both Table 2 configs."""
+        for variant in ("throughput", "skew"):
+            n = 6000
+            tree = make_tree(rng.random((n, 3)), variant, n_modules=8)
+            total = tree.space_words()["total"]
+            point_words = n * (tree.dims + 1)
+            assert total < 12 * point_words, (variant, total / point_words)
+
+    def test_space_grows_linearly(self, rng):
+        sizes = [2000, 4000, 8000]
+        totals = []
+        for n in sizes:
+            tree = make_tree(rng.random((n, 3)), "skew", n_modules=8)
+            totals.append(tree.space_words()["total"])
+        ratio1 = totals[1] / totals[0]
+        ratio2 = totals[2] / totals[1]
+        assert 1.5 < ratio1 < 2.6
+        assert 1.5 < ratio2 < 2.6
+
+    def test_l0_mode_cpu_for_small_l0(self, rng):
+        tree = make_tree(rng.random((3000, 3)), "throughput")
+        assert tree.l0_on_cpu  # tiny L0 fits the (default 22MB) LLC
+
+    def test_l0_replicated_when_cache_tiny(self, rng):
+        pts = rng.random((3000, 3))
+        system = PIMSystem(8, seed=1, llc_bytes=2048)  # 2 KB cache
+        cfg = skew_resistant(8)
+        tree = PIMZdTree(pts, config=cfg, system=system)
+        assert not tree.l0_on_cpu
+        # Replication shows up as cache residency on every module.
+        w = tree.l0_words()
+        for m in system.modules:
+            assert m.cache_words >= w
+
+    def test_residency_balanced_under_hash_placement(self, rng):
+        tree = make_tree(rng.random((8000, 3)), "throughput", n_modules=8)
+        res = tree.system.residency()
+        assert res.max() < 6 * max(1.0, res.mean())
+
+
+class TestBuildCharges:
+    def test_build_charges_cpu_and_upload(self, rng):
+        tree = make_tree(rng.random((2000, 3)), "throughput")
+        build = tree.system.stats.phases["build"]
+        assert build.cpu_ops > 0
+        assert build.comm_words > 0  # the upload round
+        assert build.rounds >= 1
+
+    def test_fast_zorder_flag_changes_cpu_work(self, rng):
+        pts = rng.random((3000, 3))
+        fast = make_tree(pts, "throughput")
+        slow_cfg = throughput_optimized(len(pts), 16, fast_zorder=False)
+        slow = PIMZdTree(pts, config=slow_cfg, system=PIMSystem(16, seed=1))
+        assert (
+            slow.system.stats.phases["build"].cpu_ops
+            > fast.system.stats.phases["build"].cpu_ops
+        )

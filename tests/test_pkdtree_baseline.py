@@ -1,0 +1,181 @@
+"""Unit tests for the Pkd-tree baseline (object-median kd-tree)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CPUCostMeter, PkdTree
+from repro.core.geometry import L1, L2, Box
+
+from conftest import (
+    assert_same_points,
+    brute_box_count,
+    brute_box_points,
+    brute_knn,
+)
+
+
+@pytest.fixture
+def tree(pts3d):
+    return PkdTree(pts3d)
+
+
+class TestConstruction:
+    def test_invariants(self, tree):
+        tree.check_invariants()
+
+    def test_size_and_points(self, tree, pts3d):
+        assert tree.size == len(pts3d)
+        assert_same_points(tree.all_points(), pts3d)
+
+    def test_object_median_balance(self, rng):
+        pts = rng.random((4096, 3))
+        t = PkdTree(pts, leaf_size=16)
+        # Perfect object-median build: height ≈ log2(n/leaf) + 1.
+        assert t.height() <= int(np.log2(4096 / 16)) + 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PkdTree(np.empty((0, 2)))
+
+    def test_alpha_validation(self, pts3d):
+        with pytest.raises(ValueError):
+            PkdTree(pts3d, alpha=0.4)
+        with pytest.raises(ValueError):
+            PkdTree(pts3d, alpha=1.0)
+
+    def test_identical_points_leaf(self):
+        pts = np.tile([[0.5, 0.5, 0.5]], (64, 1))
+        t = PkdTree(pts, leaf_size=8)
+        assert t.size == 64  # degenerate spread → one oversized leaf
+
+
+class TestInsert:
+    def test_insert_then_valid(self, rng):
+        pts = rng.random((2000, 3))
+        t = PkdTree(pts[:800])
+        t.insert(pts[800:])
+        t.check_invariants()
+        assert_same_points(t.all_points(), pts)
+
+    def test_rebalance_on_skewed_inserts(self, rng):
+        """Heavy one-sided inserts must trigger partial rebuilds."""
+        t = PkdTree(rng.random((512, 2)), alpha=0.7)
+        corner = rng.random((2048, 2)) * 0.05
+        t.insert(corner)
+        t.check_invariants()  # includes the alpha-balance assertion
+        assert t.height() <= 4 * int(np.log2(t.size))
+
+    def test_empty_batch(self, tree):
+        n = tree.size
+        tree.insert(np.empty((0, 3)))
+        assert tree.size == n
+
+    def test_dimension_mismatch(self, tree):
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros((1, 2)))
+
+
+class TestDelete:
+    def test_delete_exact(self, rng):
+        pts = rng.random((1500, 3))
+        t = PkdTree(pts)
+        assert t.delete(pts[:500]) == 500
+        t.check_invariants()
+        assert_same_points(t.all_points(), pts[500:])
+
+    def test_delete_missing(self, tree):
+        assert tree.delete(np.array([[5.0, 5.0, 5.0]])) == 0
+
+    def test_delete_duplicates(self, rng):
+        dup = np.full((4, 3), 0.25)
+        pts = np.vstack([dup, rng.random((100, 3))])
+        t = PkdTree(pts)
+        assert t.delete(dup[:1]) == 4
+
+    def test_delete_cannot_empty(self, rng):
+        pts = rng.random((8, 3))
+        t = PkdTree(pts)
+        with pytest.raises(ValueError):
+            t.delete(pts)
+
+    def test_underflow_collapses_to_leaf(self, rng):
+        pts = rng.random((64, 2))
+        t = PkdTree(pts, leaf_size=16)
+        t.delete(pts[:52])
+        t.check_invariants()
+        assert t.size == 12
+        assert t.root.leaf  # 12 ≤ leaf_size → a single leaf remains
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 8, 25])
+    def test_exact(self, tree, pts3d, k, rng):
+        for q in pts3d[rng.integers(0, len(pts3d), 8)]:
+            d, _ = tree.knn(q, k)
+            np.testing.assert_allclose(d, brute_knn(pts3d, q, k))
+
+    def test_l1(self, tree, pts3d):
+        q = pts3d[11]
+        d, _ = tree.knn(q, 5, metric=L1)
+        np.testing.assert_allclose(d, brute_knn(pts3d, q, 5, metric=L1))
+
+    def test_after_updates(self, rng):
+        pts = rng.random((1200, 3))
+        t = PkdTree(pts[:600])
+        t.insert(pts[600:])
+        t.delete(pts[:300])
+        live = pts[300:]
+        q = pts[700]
+        d, _ = t.knn(q, 9)
+        np.testing.assert_allclose(d, brute_knn(live, q, 9))
+
+    def test_invalid_k(self, tree):
+        with pytest.raises(ValueError):
+            tree.knn(np.zeros(3), -1)
+
+
+class TestBoxQueries:
+    def test_count(self, tree, pts3d, rng):
+        for _ in range(10):
+            c = rng.random(3)
+            w = rng.random(3) * 0.25
+            box = Box(np.maximum(c - w, 0), np.minimum(c + w, 1))
+            assert tree.box_count(box) == brute_box_count(pts3d, box)
+
+    def test_fetch(self, tree, pts3d, rng):
+        c = rng.random(3)
+        box = Box(np.maximum(c - 0.15, 0), np.minimum(c + 0.15, 1))
+        assert_same_points(tree.box_fetch(box), brute_box_points(pts3d, box))
+
+    def test_disjoint_box(self, tree):
+        box = Box(np.full(3, -2.0), np.full(3, -1.0))
+        assert tree.box_count(box) == 0
+        assert len(tree.box_fetch(box)) == 0
+
+    def test_box_after_updates(self, rng):
+        pts = rng.random((1000, 2))
+        t = PkdTree(pts[:500])
+        t.insert(pts[500:])
+        t.delete(pts[250:400])
+        live = np.vstack([pts[:250], pts[400:]])
+        box = Box(np.array([0.2, 0.2]), np.array([0.7, 0.8]))
+        assert t.box_count(box) == brute_box_count(live, box)
+
+
+class TestCostProfile:
+    def test_pkd_cheaper_than_zd_on_box_ops(self, pts3d):
+        """Packed-node Pkd-tree must beat the zd-interval scan (Fig. 5)."""
+        from repro.baselines import ZdTree
+
+        m_pkd = CPUCostMeter()
+        t_pkd = PkdTree(pts3d, meter=m_pkd)
+        m_zd = CPUCostMeter()
+        t_zd = ZdTree(pts3d, meter=m_zd)
+        box = Box(np.full(3, 0.4), np.full(3, 0.6))
+        s = m_pkd.snapshot()
+        t_pkd.box_count(box)
+        pkd_time = m_pkd.time_s(m_pkd.measure_since(s))
+        s = m_zd.snapshot()
+        t_zd.box_count(box)
+        zd_time = m_zd.time_s(m_zd.measure_since(s))
+        assert zd_time > pkd_time

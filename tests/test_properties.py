@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property drives one of the paper's correctness claims on arbitrary
+inputs: Morton codecs are bijective and order-compatible, the indexes are
+exact multiset containers under batched updates, kNN and box queries equal
+brute force, and the lazy counters respect Lemma 3.1 after any update
+sequence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import PkdTree, ZdTree
+from repro.core import Box, PIMZdTree, skew_resistant, throughput_optimized
+from repro.core.morton import max_bits_per_dim, morton_decode, morton_encode
+from repro.pim import PIMSystem
+
+from conftest import assert_same_points, brute_box_count, brute_knn
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def points_strategy(min_n=4, max_n=120, dims=2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_n, max_n), st.just(dims)
+        ),
+        elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+    )
+
+
+# ----------------------------------------------------------------------
+# Morton codec properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    dims=st.integers(1, 6),
+    data=st.data(),
+)
+def test_morton_roundtrip_property(dims, data):
+    bits = max_bits_per_dim(dims)
+    grid = data.draw(
+        hnp.arrays(
+            dtype=np.uint64,
+            shape=st.tuples(st.integers(1, 64), st.just(dims)),
+            elements=st.integers(0, 2**bits - 1),
+        )
+    )
+    keys = morton_encode(grid, bits)
+    assert np.array_equal(morton_decode(keys, dims, bits), grid)
+
+
+@SETTINGS
+@given(
+    a=st.integers(0, 2**21 - 1),
+    b=st.integers(0, 2**21 - 1),
+    c=st.integers(0, 2**21 - 1),
+)
+def test_morton_prefix_property(a, b, c):
+    """Keys agreeing on high coordinate bits share high key bits."""
+    g = np.array([[a, b, c]], dtype=np.uint64)
+    key = int(morton_encode(g, 21)[0])
+    # Flipping the lowest coordinate bit changes only the low 3 key bits.
+    g2 = g.copy()
+    g2[0, 0] ^= 1
+    key2 = int(morton_encode(g2, 21)[0])
+    assert key >> 3 == key2 >> 3
+
+
+# ----------------------------------------------------------------------
+# container properties (all three indexes)
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(pts=points_strategy(), extra=points_strategy(max_n=60))
+def test_zdtree_multiset_property(pts, extra):
+    t = ZdTree(pts)
+    t.insert(extra)
+    t.check_invariants()
+    assert_same_points(t.all_points(), np.vstack([pts, extra]))
+
+
+@SETTINGS
+@given(pts=points_strategy(), extra=points_strategy(max_n=60))
+def test_pkdtree_multiset_property(pts, extra):
+    t = PkdTree(pts)
+    t.insert(extra)
+    t.check_invariants()
+    assert_same_points(t.all_points(), np.vstack([pts, extra]))
+
+
+@SETTINGS
+@given(pts=points_strategy(min_n=8), extra=points_strategy(max_n=60))
+def test_pimzdtree_multiset_property(pts, extra):
+    tree = PIMZdTree(
+        pts,
+        config=skew_resistant(4),
+        system=PIMSystem(4, seed=0),
+        bounds=(np.zeros(2), np.ones(2)),
+    )
+    tree.insert(extra)
+    tree.check_invariants()
+    assert_same_points(tree.all_points(), np.vstack([pts, extra]))
+
+
+@SETTINGS
+@given(pts=points_strategy(min_n=20, max_n=100), data=st.data())
+def test_pimzdtree_delete_property(pts, data):
+    n_del = data.draw(st.integers(0, len(pts) - 1))
+    tree = PIMZdTree(
+        pts,
+        config=skew_resistant(4),
+        system=PIMSystem(4, seed=0),
+        bounds=(np.zeros(2), np.ones(2)),
+    )
+    try:
+        removed = tree.delete(pts[:n_del])
+    except ValueError:
+        # Duplicate-heavy inputs: removing all copies would empty the tree,
+        # which the index refuses by contract.
+        return
+    assert removed >= n_del  # duplicates may remove extra copies
+    tree.check_invariants()
+    assert tree.size == len(pts) - removed
+
+
+# ----------------------------------------------------------------------
+# query properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(pts=points_strategy(min_n=10, max_n=150), data=st.data())
+def test_pimzdtree_knn_matches_brute(pts, data):
+    k = data.draw(st.integers(1, 8))
+    q = np.array(
+        [data.draw(st.floats(0, 1, width=32)), data.draw(st.floats(0, 1, width=32))]
+    )
+    tree = PIMZdTree(
+        pts,
+        config=throughput_optimized(len(pts), 4),
+        system=PIMSystem(4, seed=0),
+        bounds=(np.zeros(2), np.ones(2)),
+    )
+    d, nn = tree.knn(q.reshape(1, -1), k)[0]
+    np.testing.assert_allclose(d, brute_knn(pts, q, k), atol=1e-9)
+
+
+@SETTINGS
+@given(pts=points_strategy(min_n=10, max_n=150), data=st.data())
+def test_pimzdtree_box_count_matches_brute(pts, data):
+    lo = np.array([data.draw(st.floats(0, 1, width=32)) for _ in range(2)])
+    hi = np.array([data.draw(st.floats(0, 1, width=32)) for _ in range(2)])
+    box = Box(np.minimum(lo, hi), np.maximum(lo, hi))
+    tree = PIMZdTree(
+        pts,
+        config=skew_resistant(4),
+        system=PIMSystem(4, seed=0),
+        bounds=(np.zeros(2), np.ones(2)),
+    )
+    assert tree.box_count([box])[0] == brute_box_count(pts, box)
+
+
+@SETTINGS
+@given(pts=points_strategy(min_n=10, max_n=120), data=st.data())
+def test_zdtree_knn_matches_brute(pts, data):
+    k = data.draw(st.integers(1, 6))
+    q = np.array(
+        [data.draw(st.floats(0, 1, width=32)), data.draw(st.floats(0, 1, width=32))]
+    )
+    t = ZdTree(pts)
+    d, _ = t.knn(q, k)
+    np.testing.assert_allclose(d, brute_knn(pts, q, k), atol=1e-9)
+
+
+@SETTINGS
+@given(pts=points_strategy(min_n=10, max_n=120), data=st.data())
+def test_zdtree_interval_box_count_matches_brute(pts, data):
+    lo = np.array([data.draw(st.floats(0, 1, width=32)) for _ in range(2)])
+    hi = np.array([data.draw(st.floats(0, 1, width=32)) for _ in range(2)])
+    box = Box(np.minimum(lo, hi), np.maximum(lo, hi))
+    t = ZdTree(pts)
+    assert t.box_count(box) == brute_box_count(pts, box)
+    assert t.box_count(box, box_prune=True) == brute_box_count(pts, box)
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.1 under arbitrary update sequences
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    pts=points_strategy(min_n=40, max_n=120),
+    batches=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(1, 25)),
+        min_size=1,
+        max_size=5,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_lemma31_under_random_updates(pts, batches, seed):
+    rng = np.random.default_rng(seed)
+    tree = PIMZdTree(
+        pts,
+        config=skew_resistant(4),
+        system=PIMSystem(4, seed=0),
+        bounds=(np.zeros(2), np.ones(2)),
+    )
+    for kind, m in batches:
+        if kind == "ins":
+            tree.insert(rng.random((m, 2)))
+        else:
+            live = tree.all_points()
+            if len(live) > m:
+                idx = rng.integers(0, len(live), size=m)
+                try:
+                    tree.delete(live[idx])
+                except ValueError:
+                    pass  # would empty the tree
+        stack = [tree.root]
+        while stack:
+            n = stack.pop()
+            if n.count > 0:
+                assert n.count / 2 <= n.sc <= 2 * n.count
+            if not n.is_leaf:
+                stack.extend((n.left, n.right))
+    tree.check_invariants()

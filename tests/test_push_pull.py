@@ -1,0 +1,139 @@
+"""Tests for push-pull search (§3.3) and its load-balancing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import PIMZdTree, skew_resistant, throughput_optimized
+from repro.pim import PIMSystem
+
+
+def make_tree(points, variant="skew", n_modules=8, seed=1, **cfg_over):
+    system = PIMSystem(n_modules, seed=seed)
+    if variant == "throughput":
+        cfg = throughput_optimized(len(points), n_modules, **cfg_over)
+    else:
+        cfg = skew_resistant(n_modules, **cfg_over)
+    return PIMZdTree(points, config=cfg, system=system)
+
+
+class TestPullDecisions:
+    def test_uniform_batch_mostly_pushes(self, rng):
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew")
+        tree.search(rng.random((512, 3)))
+        ex = tree.last_executor
+        assert ex is not None
+        assert ex.pushed_tasks > 0
+        # Uniform batches spread thin: pulls are the exception.
+        assert ex.pulled_tasks <= ex.pushed_tasks
+
+    def test_adversarial_hotspot_triggers_pulls(self, rng):
+        """Every query hitting one point must pull the hot meta-nodes."""
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew")
+        hot = np.tile(pts[17], (512, 1))
+        tree.search(hot)
+        ex = tree.last_executor
+        assert ex.pulled_metas > 0
+
+    def test_push_pull_disabled_never_pulls(self, rng):
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew", push_pull=False)
+        hot = np.tile(pts[17], (512, 1))
+        tree.search(hot)
+        assert tree.last_executor.pulled_metas == 0
+
+    def test_pull_reduces_straggler_load(self, rng):
+        """With push-pull, an adversarial batch loads modules less unevenly
+        than with pushing only."""
+        pts = rng.random((4000, 3))
+        hot = np.tile(pts[3], (600, 1))
+
+        def max_load(push_pull: bool) -> float:
+            tree = make_tree(pts, "skew", push_pull=push_pull, seed=5)
+            snap = tree.system.module_loads().copy()
+            tree.search(hot)
+            loads = tree.system.module_loads() - snap
+            return loads.max()
+
+        assert max_load(True) < max_load(False)
+
+
+class TestRounds:
+    def test_search_rounds_bounded(self, rng):
+        """Worst-case O(log_B θ_L0) communication rounds (Theorem 5.3)."""
+        import math
+
+        pts = rng.random((6000, 3))
+        tree = make_tree(pts, "skew")
+        cfg = tree.config
+        snap = tree.system.snapshot()
+        tree.search(rng.random((256, 3)))
+        rounds = tree.system.stats.diff(snap).total.rounds
+        bound = 3 * math.log(cfg.theta_l0, max(2, cfg.chunk_factor)) + 4
+        assert rounds <= bound, (rounds, bound)
+
+    def test_throughput_config_single_round_search(self, rng):
+        """Range-partitioned layout: one push round end-to-end."""
+        pts = rng.random((6000, 3))
+        tree = make_tree(pts, "throughput")
+        snap = tree.system.snapshot()
+        tree.search(rng.random((256, 3)))
+        assert tree.system.stats.diff(snap).total.rounds <= 2
+
+    def test_empty_batch_runs_no_rounds(self, rng):
+        pts = rng.random((1000, 3))
+        tree = make_tree(pts, "throughput")
+        snap = tree.system.snapshot()
+        tree.search(np.empty((0, 3)))
+        assert tree.system.stats.diff(snap).total.rounds == 0
+
+
+class TestCommunication:
+    def test_search_comm_constant_in_n_for_throughput_config(self, rng):
+        """Theorem/Table 2: O(1) words per SEARCH, independent of n."""
+        comm_per_op = []
+        for n in (4000, 16000):
+            pts = rng.random((n, 3))
+            tree = make_tree(pts, "throughput", n_modules=8)
+            q = rng.random((500, 3))
+            snap = tree.system.snapshot()
+            tree.search(q)
+            d = tree.system.stats.diff(snap).total
+            comm_per_op.append(d.comm_words / 500)
+        assert comm_per_op[1] <= comm_per_op[0] * 1.5 + 2
+
+    def test_pull_fetches_master_words(self, rng):
+        pts = rng.random((4000, 3))
+        tree = make_tree(pts, "skew")
+        hot = np.tile(pts[0], (600, 1))
+        snap = tree.system.snapshot()
+        tree.search(hot)
+        d = tree.system.stats.diff(snap).total
+        # Pulled meta masters travel once, not once per query.
+        assert d.comm_words < 600 * 40
+
+
+class TestLoadBalance:
+    def test_uniform_batch_balanced_whp(self, rng):
+        """Lemma 5.2 behaviour: random placement balances uniform load."""
+        pts = rng.random((16000, 3))
+        tree = make_tree(pts, "throughput", n_modules=16, seed=3)
+        base = tree.system.module_loads().copy()
+        tree.search(rng.random((4000, 3)))
+        loads = tree.system.module_loads() - base
+        assert loads.max() <= 4.0 * max(loads.mean(), 1e-9)
+
+    def test_skew_resistant_beats_throughput_under_skew(self, rng):
+        """Fig. 9 mechanism: the skew-resistant layout caps the straggler."""
+        pts = rng.random((8000, 3))
+        hot = np.tile(pts[5], (1000, 1)) + rng.normal(scale=1e-5, size=(1000, 3))
+
+        def straggler(variant):
+            tree = make_tree(pts, variant, n_modules=16, seed=2)
+            base = tree.system.module_loads().copy()
+            tree.search(hot)
+            loads = tree.system.module_loads() - base
+            return loads.max()
+
+        assert straggler("skew") <= straggler("throughput")

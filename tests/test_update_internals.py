@@ -1,0 +1,179 @@
+"""White-box tests of the batch-update machinery (Alg. 2 internals)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PIMZdTree, skew_resistant, throughput_optimized
+from repro.core.node import Layer
+from repro.pim import PIMSystem
+
+from conftest import assert_same_points
+
+
+def make_tree(points, variant="skew", n_modules=4, seed=1, **cfg_over):
+    system = PIMSystem(n_modules, seed=seed)
+    if variant == "throughput":
+        cfg = throughput_optimized(len(points), n_modules, **cfg_over)
+    else:
+        cfg = skew_resistant(n_modules, **cfg_over)
+    return PIMZdTree(points, config=cfg, system=system,
+                     bounds=(np.zeros(points.shape[1]), np.ones(points.shape[1])))
+
+
+class TestEdgeSplitChains:
+    def test_single_edge_split(self):
+        """A key diverging inside a compressed edge creates exactly one LCA."""
+        cluster = np.full((40, 2), 0.9) + np.linspace(0, 0.001, 40).reshape(-1, 1)
+        tree = make_tree(cluster)
+        nodes_before = tree.num_nodes()
+        tree.insert(np.array([[0.1, 0.1]]))
+        tree.check_invariants()
+        # One new leaf + one new internal (LCA).
+        assert tree.num_nodes() == nodes_before + 2
+
+    def test_multi_depth_divergence_chain(self):
+        """Keys diverging at several depths of one edge chain correctly."""
+        cluster = np.full((30, 2), 0.999)
+        tree = make_tree(cluster)
+        diverging = np.array([[0.01, 0.01], [0.3, 0.3], [0.6, 0.6], [0.9, 0.2]])
+        tree.insert(diverging)
+        tree.check_invariants()
+        assert_same_points(tree.all_points(), np.vstack([cluster, diverging]))
+
+    def test_divergence_above_root(self, rng):
+        """A key outside the root's compressed range creates a new root."""
+        # Distinct keys in a tiny ball: the root is an internal node with a
+        # long compressed prefix (depth > 0).
+        cluster = 0.75 + rng.random((40, 2)) * 1e-4
+        tree = make_tree(cluster, leaf_size=8)
+        old_root = tree.root
+        assert old_root.depth > 0  # compressed root prefix
+        tree.insert(np.array([[0.01, 0.99]]))
+        tree.check_invariants()
+        assert tree.root is not old_root
+        assert tree.root.depth < old_root.depth
+
+    def test_same_edge_multiple_keys_deduplicated(self):
+        """Alg. 2 step 2d: several keys splitting one edge build one chain,
+        not one chain per key."""
+        cluster = np.full((30, 2), 0.9)
+        tree = make_tree(cluster)
+        nodes_before = tree.num_nodes()
+        # Two identical diverging keys: one new leaf (holding both) + 1 LCA.
+        tree.insert(np.array([[0.2, 0.2], [0.2, 0.2]]))
+        tree.check_invariants()
+        assert tree.num_nodes() == nodes_before + 2
+
+
+class TestLeafLifecycle:
+    def test_leaf_split_replaces_leaf(self, rng):
+        pts = rng.random((16, 2)) * 0.01  # one leaf's worth
+        tree = make_tree(pts, leaf_size=16)
+        assert tree.root.is_leaf or tree.num_nodes() <= 3
+        tree.insert(rng.random((64, 2)))
+        tree.check_invariants()
+        assert tree.size == 80
+
+    def test_leaf_merge_in_place_keeps_node(self, rng):
+        pts = rng.random((200, 2))
+        tree = make_tree(pts, leaf_size=16)
+        res = tree.search(pts[:1])[0]
+        leaf = res.leaf
+        if leaf.count < tree.config.leaf_size:
+            nid = leaf.nid
+            # Insert a duplicate of an existing key: fits in place.
+            tree.insert(pts[:1])
+            res2 = tree.search(pts[:1])[0]
+            assert res2.leaf.nid == nid
+
+    def test_emptied_leaf_spliced(self, rng):
+        pts = np.vstack([np.full((5, 2), 0.25), rng.random((200, 2))])
+        tree = make_tree(pts, leaf_size=4)
+        nodes_before = tree.num_nodes()
+        tree.delete(np.full((1, 2), 0.25))
+        tree.check_invariants()
+        assert tree.num_nodes() < nodes_before  # leaf + parent gone
+
+    def test_counts_exact_after_everything(self, rng):
+        pts = rng.random((1000, 2))
+        tree = make_tree(pts)
+        tree.insert(rng.random((300, 2)))
+        tree.delete(pts[:400])
+
+        def check(node):
+            if node.is_leaf:
+                assert node.count == len(node.keys)
+                return node.count
+            total = check(node.left) + check(node.right)
+            assert node.count == total
+            return total
+
+        check(tree.root)
+
+
+class TestPromotionMechanics:
+    def test_promotion_clears_meta(self, rng):
+        pts = rng.random((2000, 3))
+        tree = make_tree(pts, "skew", n_modules=4)
+        # Grow one region until some node crosses θ_L0.
+        hot = rng.random((4000, 3)) * 0.1
+        for i in range(0, 4000, 500):
+            tree.insert(hot[i : i + 500])
+        tree.check_invariants()
+        for node in tree.l0_nodes():
+            assert node.meta is None
+
+    def test_promotion_charges_broadcast_when_replicated(self, rng):
+        pts = rng.random((3000, 3))
+        system = PIMSystem(8, seed=1, llc_bytes=2048)  # forces replicated L0
+        tree = PIMZdTree(pts, config=skew_resistant(8), system=system)
+        assert not tree.l0_on_cpu
+        before = system.stats.total.comm_words
+        hot = rng.random((3000, 3)) * 0.05
+        for i in range(0, 3000, 500):
+            tree.insert(hot[i : i + 500])
+        tree.check_invariants()
+        assert system.stats.total.comm_words > before
+
+    def test_rounds_bounded_per_batch(self, rng):
+        """Alg. 2: a constant number of rounds beyond the search rounds."""
+        pts = rng.random((8000, 3))
+        tree = make_tree(pts, "throughput", n_modules=8)
+        import math
+
+        cfg = tree.config
+        for i in range(4):
+            snap = tree.system.snapshot()
+            tree.insert(rng.random((400, 3)))
+            rounds = tree.system.stats.diff(snap).total.rounds
+            bound = 3 * math.log(cfg.theta_l0, max(2, cfg.chunk_factor)) + 10
+            assert rounds <= bound
+
+
+class TestBatchEdgeCases:
+    def test_batch_with_all_duplicates_of_one_point(self, rng):
+        pts = rng.random((500, 2))
+        tree = make_tree(pts)
+        dup = np.tile(pts[0], (100, 1))
+        tree.insert(dup)
+        tree.check_invariants()
+        assert tree.size == 600
+
+    def test_batch_mixing_inserts_into_same_leaf_and_edges(self, rng):
+        cluster = np.full((30, 2), 0.9)
+        spread = rng.random((30, 2))
+        tree = make_tree(np.vstack([cluster, spread]))
+        batch = np.vstack([np.full((5, 2), 0.9), rng.random((20, 2))])
+        tree.insert(batch)
+        tree.check_invariants()
+        assert tree.size == 85
+
+    def test_alternating_insert_delete_same_points(self, rng):
+        pts = rng.random((800, 2))
+        extra = rng.random((200, 2))
+        tree = make_tree(pts)
+        for _ in range(3):
+            tree.insert(extra)
+            assert tree.delete(extra) == 200
+            tree.check_invariants()
+        assert_same_points(tree.all_points(), pts)

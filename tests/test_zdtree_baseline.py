@@ -1,0 +1,254 @@
+"""Unit tests for the shared-memory zd-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CPUCostMeter, ZdTree
+from repro.core.geometry import L1, L2, Box
+
+from conftest import (
+    assert_same_points,
+    brute_box_count,
+    brute_box_points,
+    brute_knn,
+)
+
+
+@pytest.fixture
+def tree(pts3d):
+    return ZdTree(pts3d)
+
+
+class TestConstruction:
+    def test_invariants_after_build(self, tree):
+        tree.check_invariants()
+
+    def test_size(self, tree, pts3d):
+        assert tree.size == len(pts3d)
+
+    def test_all_points_multiset(self, tree, pts3d):
+        assert_same_points(tree.all_points(), pts3d)
+
+    def test_compressed_node_count(self, tree):
+        """A compressed binary radix tree has (#leaves) - 1 internal nodes."""
+
+        def count(node):
+            if node.leaf:
+                return 1, 0
+            ll, li = count(node.left)
+            rl, ri = count(node.right)
+            return ll + rl, li + ri + 1
+
+        leaves, internals = count(tree.root)
+        assert internals == leaves - 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZdTree(np.empty((0, 3)))
+
+    def test_explicit_bounds(self, pts3d):
+        t = ZdTree(pts3d, bounds=(np.zeros(3), np.ones(3)))
+        t.check_invariants()
+        assert t.size == len(pts3d)
+
+    def test_single_point(self):
+        t = ZdTree(np.array([[0.5, 0.5]]))
+        assert t.size == 1
+        t.check_invariants()
+
+    def test_duplicate_points_share_leaf(self):
+        pts = np.tile(np.array([[0.3, 0.7]]), (100, 1))
+        t = ZdTree(pts, leaf_size=8)
+        t.check_invariants()  # oversized leaf allowed when keys equal
+        assert t.size == 100
+
+
+class TestInsert:
+    def test_insert_grows_and_stays_valid(self, rng):
+        pts = rng.random((3000, 3))
+        t = ZdTree(pts[:1000])
+        t.insert(pts[1000:2000])
+        t.check_invariants()
+        t.insert(pts[2000:])
+        t.check_invariants()
+        assert t.size == 3000
+        assert_same_points(t.all_points(), pts)
+
+    def test_insert_empty_batch_noop(self, tree):
+        before = tree.size
+        tree.insert(np.empty((0, 3)))
+        assert tree.size == before
+
+    def test_insert_duplicates(self, rng):
+        pts = rng.random((200, 3))
+        t = ZdTree(pts)
+        t.insert(pts[:50])  # exact duplicates
+        t.check_invariants()
+        assert t.size == 250
+
+    def test_insert_outside_initial_extent_is_clipped(self, rng):
+        pts = rng.random((300, 3)) * 0.5 + 0.25
+        t = ZdTree(pts, bounds=(np.zeros(3), np.ones(3)))
+        outlier = np.array([[2.0, 2.0, 2.0]])
+        t.insert(outlier)  # clipped to box surface in key space
+        t.check_invariants()
+        assert t.size == 301
+
+    def test_edge_split_chain(self):
+        """Keys diverging at several depths of one compressed edge."""
+        base = np.array([[0.9, 0.9]] * 20)
+        t = ZdTree(base, bounds=(np.zeros(2), np.ones(2)), leaf_size=4)
+        t.insert(np.array([[0.1, 0.1], [0.4, 0.4], [0.6, 0.1], [0.05, 0.9]]))
+        t.check_invariants()
+        assert t.size == 24
+
+    def test_dimension_mismatch(self, tree):
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros((2, 5)))
+
+
+class TestDelete:
+    def test_delete_removes_exact_points(self, rng):
+        pts = rng.random((1000, 3))
+        t = ZdTree(pts)
+        removed = t.delete(pts[:400])
+        assert removed == 400
+        t.check_invariants()
+        assert_same_points(t.all_points(), pts[400:])
+
+    def test_delete_nonexistent_is_noop(self, tree):
+        before = tree.size
+        assert tree.delete(np.array([[2.0, 2.0, 2.0]])) == 0
+        assert tree.size == before
+
+    def test_delete_duplicates_removes_all_copies(self):
+        pts = np.vstack([np.full((5, 2), 0.5), np.random.default_rng(1).random((50, 2))])
+        t = ZdTree(pts)
+        removed = t.delete(np.array([[0.5, 0.5]]))
+        assert removed == 5
+
+    def test_delete_cannot_empty_tree(self, rng):
+        pts = rng.random((10, 3))
+        t = ZdTree(pts)
+        with pytest.raises(ValueError):
+            t.delete(pts)
+
+    def test_interleaved_insert_delete(self, rng):
+        pts = rng.random((2000, 3))
+        t = ZdTree(pts[:1000])
+        live = list(range(1000))
+        t.insert(pts[1000:1500])
+        live += list(range(1000, 1500))
+        t.delete(pts[200:700])
+        live = [i for i in live if not 200 <= i < 700]
+        t.insert(pts[1500:])
+        live += list(range(1500, 2000))
+        t.check_invariants()
+        assert_same_points(t.all_points(), pts[live])
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 5, 17])
+    def test_exact_vs_brute(self, tree, pts3d, k, rng):
+        for q in pts3d[rng.integers(0, len(pts3d), 10)]:
+            d, nn = tree.knn(q, k)
+            np.testing.assert_allclose(d, brute_knn(pts3d, q, k))
+
+    def test_l1_metric(self, tree, pts3d):
+        q = pts3d[3]
+        d, _ = tree.knn(q, 7, metric=L1)
+        np.testing.assert_allclose(d, brute_knn(pts3d, q, 7, metric=L1))
+
+    def test_k_exceeds_size(self):
+        pts = np.random.default_rng(2).random((5, 3))
+        t = ZdTree(pts)
+        d, nn = t.knn(pts[0], 20)
+        assert len(d) == 5
+
+    def test_query_far_outside(self, tree, pts3d):
+        q = np.array([10.0, 10.0, 10.0])
+        d, _ = tree.knn(q, 3)
+        np.testing.assert_allclose(d, brute_knn(pts3d, q, 3))
+
+    def test_invalid_k(self, tree):
+        with pytest.raises(ValueError):
+            tree.knn(np.zeros(3), 0)
+
+    def test_batch_api(self, tree, pts3d):
+        out = tree.knn_batch(pts3d[:4], 3)
+        assert len(out) == 4
+        for (d, nn), q in zip(out, pts3d[:4]):
+            np.testing.assert_allclose(d, brute_knn(pts3d, q, 3))
+
+
+class TestBoxQueries:
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_count_matches_brute(self, tree, pts3d, rng, prune):
+        for _ in range(10):
+            c = rng.random(3)
+            w = rng.random(3) * 0.3
+            box = Box(np.maximum(c - w, 0), np.minimum(c + w, 1))
+            assert tree.box_count(box, box_prune=prune) == brute_box_count(pts3d, box)
+
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_fetch_matches_brute(self, tree, pts3d, rng, prune):
+        c = rng.random(3)
+        box = Box(np.maximum(c - 0.2, 0), np.minimum(c + 0.2, 1))
+        got = tree.box_fetch(box, box_prune=prune)
+        assert_same_points(got, brute_box_points(pts3d, box))
+
+    def test_empty_box(self, tree):
+        box = Box(np.full(3, 2.0), np.full(3, 3.0))
+        assert tree.box_count(box) == 0
+        assert len(tree.box_fetch(box)) == 0
+
+    def test_whole_domain_box(self, tree, pts3d):
+        box = Box(np.full(3, -1.0), np.full(3, 2.0))
+        assert tree.box_count(box) == len(pts3d)
+        assert len(tree.box_fetch(box)) == len(pts3d)
+
+    def test_interval_scan_costs_more_than_pruned(self, pts3d):
+        """The z-interval scan visits far more than geometric pruning."""
+        m1 = CPUCostMeter()
+        t1 = ZdTree(pts3d, meter=m1)
+        m2 = CPUCostMeter()
+        t2 = ZdTree(pts3d, meter=m2)
+        box = Box(np.full(3, 0.45), np.full(3, 0.55))
+        s1 = m1.snapshot()
+        t1.box_count(box)
+        naive = m1.measure_since(s1).work
+        s2 = m2.snapshot()
+        t2.box_count(box, box_prune=True)
+        pruned = m2.measure_since(s2).work
+        assert naive > 2 * pruned
+
+
+class TestMeterIntegration:
+    def test_operations_charge_work_and_traffic(self, pts3d):
+        meter = CPUCostMeter()
+        t = ZdTree(pts3d, meter=meter)
+        assert meter.counters.work > 0
+        snap = meter.snapshot()
+        t.knn(pts3d[0], 5)
+        d = meter.measure_since(snap)
+        assert d.work > 0
+        assert meter.time_s(d) > 0
+
+    def test_naive_zorder_charges_more_than_fast(self, pts3d):
+        m_naive = CPUCostMeter()
+        ZdTree(pts3d, meter=m_naive, naive_zorder=True)
+        m_fast = CPUCostMeter()
+        ZdTree(pts3d, meter=m_fast, naive_zorder=False)
+        assert m_naive.counters.work > m_fast.counters.work
+
+
+class TestHeightAndStats:
+    def test_height_logarithmic_for_uniform(self, rng):
+        pts = rng.random((4096, 3))
+        t = ZdTree(pts, leaf_size=16)
+        # Uniform data: height close to log2(n/leaf); generous upper bound.
+        assert t.height() <= 4 * int(np.log2(len(pts)))
+
+    def test_num_nodes_bound(self, tree, pts3d):
+        # Compressed tree: at most 2*ceil(n/1) nodes, far fewer with leaves.
+        assert tree.num_nodes() <= 2 * len(pts3d)
