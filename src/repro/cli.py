@@ -6,9 +6,13 @@ Examples::
     python -m repro.cli fig5 --dataset osm --n 30000
     python -m repro.cli table3 --batch 256
     python -m repro.cli all --out results/
+    python -m repro.cli trace --ops insert,bc-10,10-nn --out trace.json
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
-report plus a JSON dump of the raw rows.
+report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
+the ``repro.obs`` collector attached and exports the per-phase/per-module
+timeline (JSON, optionally CSV), checking that the trace reconciles
+exactly with the simulator's counters.
 """
 
 from __future__ import annotations
@@ -52,6 +56,24 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(p_all)
     p_all.add_argument("--out", type=Path, default=None,
                        help="directory for report.md / results.json")
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run a traced workload; export the per-phase/per-module timeline",
+    )
+    _add_common(p_tr)
+    p_tr.add_argument("--dataset", default="uniform", choices=sorted(DATASETS),
+                      help="workload distribution")
+    p_tr.add_argument("--ops", default="insert,bc-10,bf-10,10-nn",
+                      help="comma-separated Fig. 5 operation names")
+    p_tr.add_argument("--out", type=Path, default=None,
+                      help="path for the JSON trace document")
+    p_tr.add_argument("--csv", type=Path, default=None,
+                      help="path for the per-phase CSV table")
+    p_tr.add_argument("--ring", type=int, default=65536,
+                      help="raw-event ring-buffer capacity")
+    p_tr.add_argument("--no-events", action="store_true",
+                      help="omit raw events from the JSON document")
     return parser
 
 
@@ -85,6 +107,71 @@ def _run_one(name: str, kwargs: dict) -> ExperimentResult:
     return result
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: traced workload → timeline export."""
+    from .eval import phase_breakdown_table, run_suite
+    from .eval.experiments import _dataset
+    from .eval.harness import PIMZdTreeAdapter
+    from .obs import TraceCollector, timeline_csv, write_trace
+
+    n = args.n or 20_000
+    batch = args.batch or 256
+    n_modules = args.n_modules or 32
+    seed = args.seed if args.seed is not None else 7
+    ops = tuple(o.strip() for o in args.ops.split(",") if o.strip())
+    for op in ops:
+        root = op.split("-")[0]
+        valid = (op == "insert" or
+                 (op.endswith("-nn") and root.isdigit()) or
+                 (op.startswith(("bc-", "bf-")) and op[3:].isdigit()))
+        if not valid:
+            print(f"error: unknown op {op!r} "
+                  "(expected insert, bc-N, bf-N or K-nn)")
+            return 2
+    if args.ring < 1:
+        print("error: --ring must be >= 1")
+        return 2
+
+    data = _dataset(args.dataset, n, seed)
+    gen = DATASETS[args.dataset]
+    counter = {"i": 0}
+
+    def fresh(m: int):
+        counter["i"] += 1
+        return gen(m, 3, seed=seed * 1000 + counter["i"])
+
+    tracer = TraceCollector(capacity=args.ring)
+    adapter = PIMZdTreeAdapter(data, n_modules=n_modules, seed=seed,
+                               tracer=tracer)
+    measurements = run_suite(adapter, data=data, ops=ops, batch=batch,
+                             seed=seed, fresh_points=fresh)
+
+    print(f"=== trace — {args.dataset}, n={n}, batch={batch}, "
+          f"P={n_modules}, ops={','.join(ops)} ===")
+    print(phase_breakdown_table(measurements))
+    print(f"\nevents emitted: {tracer.seq} (retained {len(tracer.events())}, "
+          f"dropped {tracer.dropped}); rounds: {tracer.rounds_seen}")
+
+    problems = tracer.timeline.reconcile(adapter.system.stats)
+    if problems:
+        print("RECONCILIATION FAILED:")
+        for p in problems:
+            print(f"  {p}")
+    else:
+        print("trace reconciles exactly with PIMStats totals")
+
+    if args.out is not None or args.csv is not None:
+        write_trace(tracer, json_path=args.out, csv_path=args.csv,
+                    stats=adapter.system.stats,
+                    include_events=not args.no_events)
+        for path in (args.out, args.csv):
+            if path is not None:
+                print(f"wrote {path}")
+    elif args.csv is None and args.out is None:
+        print("\n" + timeline_csv(tracer))
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -94,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()
             print(f"  {name:8s} {doc[0] if doc else ''}")
         return 0
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "all":
         kwargs = _kwargs_from(args)

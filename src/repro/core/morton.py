@@ -84,6 +84,15 @@ def _as_u64(x) -> np.ndarray:
     if arr.dtype != _U64:
         if np.issubdtype(arr.dtype, np.signedinteger) and arr.size and arr.min() < 0:
             raise ValueError("coordinates must be non-negative integers")
+        if np.issubdtype(arr.dtype, np.floating) and arr.size:
+            # A negative or fractional float silently wraps / truncates in
+            # the uint64 cast (e.g. -1.0 → 2**64 - 1), scrambling the key.
+            if not np.isfinite(arr).all():
+                raise ValueError("coordinates must be finite")
+            if arr.min() < 0:
+                raise ValueError("coordinates must be non-negative integers")
+            if (arr != np.floor(arr)).any():
+                raise ValueError("float coordinates must be integral")
         arr = arr.astype(_U64)
     return arr
 

@@ -610,8 +610,16 @@ def _splice_out_leaf(tree, leaf: Node) -> None:
     _replace_child(tree, parent, sibling)
     tree.system.charge_comm_flat(_LINK_WORDS)
     if sibling.parent is None:
-        if sibling.layer != Layer.L0 and sibling.meta is not None:
-            tree.mark_stale(sibling.meta)
+        # Sibling became the tree root.  When the collapsed parent was a
+        # chunk root, its meta is now rootless while survivors under the
+        # sibling may still reference it, so the region must be rebuilt
+        # immediately — rechunk_stale would otherwise discard the meta
+        # (detached root) and leave those references dangling.
+        if sibling.layer != Layer.L0:
+            if needs_region_fix:
+                _force_rechunk_region_at(tree, sibling)
+            elif sibling.meta is not None:
+                tree.mark_stale(sibling.meta)
         return
     if needs_region_fix and sibling.layer != Layer.L0:
         _force_rechunk_region_at(tree, sibling)

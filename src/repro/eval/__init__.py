@@ -24,7 +24,14 @@ from .harness import (
     run_suite,
 )
 from .metrics import OpMeasurement, percentile
-from .report import bar_chart, fig5_table, format_table, geomean, speedup_summary
+from .report import (
+    bar_chart,
+    fig5_table,
+    format_table,
+    geomean,
+    phase_breakdown_table,
+    speedup_summary,
+)
 
 __all__ = [
     "FIG5_OPS",
@@ -39,6 +46,7 @@ __all__ = [
     "make_adapter",
     "make_boxes",
     "percentile",
+    "phase_breakdown_table",
     "run_op",
     "run_suite",
     "speedup_summary",

@@ -88,10 +88,12 @@ class PIMZdTreeAdapter:
         bounds=None,
         llc_bytes: int | None = None,
         cost_model=None,
+        tracer=None,
     ) -> None:
         if llc_bytes is None:
             llc_bytes = scaled_llc_bytes(22 * 2**20, len(points))
-        self.system = PIMSystem(n_modules, seed=seed, llc_bytes=llc_bytes)
+        self.system = PIMSystem(n_modules, seed=seed, llc_bytes=llc_bytes,
+                                tracer=tracer)
         if config is None:
             if variant == "throughput":
                 config = throughput_optimized(len(points), n_modules)
@@ -113,12 +115,23 @@ class PIMZdTreeAdapter:
     def measure(self, fn: Callable[[], int]) -> OpMeasurement:
         """Run ``fn`` and convert the counter delta to simulated metrics.
 
-        ``fn`` returns the number of elements produced.
+        ``fn`` returns the number of elements produced.  Besides the
+        aggregate CPU/PIM/comm split, the per-phase counters (charge-time
+        attribution, see ``repro.pim.model``) are converted to seconds and
+        carried in :attr:`OpMeasurement.phases` for the Fig. 6 breakdown.
         """
         start = self.system.snapshot()
         elements = fn()
-        delta = self.system.stats.diff(start).total
+        delta_stats = self.system.stats.diff(start)
+        delta = delta_stats.total
         t = self.tree.cost_model.time(delta)
+        phases: dict[str, dict[str, float]] = {}
+        for label, c in delta_stats.phases.items():
+            pt = self.tree.cost_model.time(c)
+            if pt.total_s > 0:
+                phases[label] = {
+                    "cpu_s": pt.cpu_s, "pim_s": pt.pim_s, "comm_s": pt.comm_s,
+                }
         return OpMeasurement(
             index=self.name,
             op="",
@@ -129,6 +142,7 @@ class PIMZdTreeAdapter:
             cpu_s=t.cpu_s,
             pim_s=t.pim_s,
             comm_s=t.comm_s,
+            phases=phases,
         )
 
     # -- operation surface ------------------------------------------------
@@ -329,6 +343,7 @@ def run_op(adapter, op: str, *, data: np.ndarray, batch: int, seed: int = 0,
             agg.comm_s += m.comm_s
             agg.ops += batch
             agg.batch_times_s.append(m.sim_time_s)
+            agg.merge_phases(m)
     return agg
 
 

@@ -35,6 +35,12 @@ class OpMeasurement:
     comm_s: float = 0.0
     batch_times_s: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    # Per-phase time breakdown (charge-time attribution): phase label →
+    # {"cpu_s", "pim_s", "comm_s"}.  Filled by the PIM adapter; empty for
+    # the CPU baselines.  Each phase's seconds come from running the cost
+    # model on that phase's own counters, so (the roofline max being
+    # nonlinear) the sum over phases can slightly exceed the totals above.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -49,6 +55,23 @@ class OpMeasurement:
         if self.elements <= 0:
             return float("inf")
         return self.traffic_bytes / self.elements
+
+    def merge_phases(self, other: "OpMeasurement") -> None:
+        """Accumulate ``other``'s per-phase seconds into this measurement."""
+        for label, parts in other.phases.items():
+            acc = self.phases.setdefault(
+                label, {"cpu_s": 0.0, "pim_s": 0.0, "comm_s": 0.0}
+            )
+            for key, v in parts.items():
+                acc[key] = acc.get(key, 0.0) + v
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Share of the summed per-phase time attributed to each phase."""
+        totals = {ph: sum(parts.values()) for ph, parts in self.phases.items()}
+        denom = sum(totals.values())
+        if denom <= 0:
+            return {ph: 0.0 for ph in totals}
+        return {ph: t / denom for ph, t in totals.items()}
 
     def breakdown_fractions(self) -> dict[str, float]:
         total = self.cpu_s + self.pim_s + self.comm_s

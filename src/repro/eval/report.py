@@ -12,7 +12,14 @@ from typing import Iterable, Sequence
 
 from .metrics import OpMeasurement
 
-__all__ = ["format_table", "fig5_table", "speedup_summary", "geomean", "bar_chart"]
+__all__ = [
+    "format_table",
+    "fig5_table",
+    "phase_breakdown_table",
+    "speedup_summary",
+    "geomean",
+    "bar_chart",
+]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -51,6 +58,23 @@ def fig5_table(measurements: dict[str, list[OpMeasurement]]) -> str:
             m = measurements[ix][i]
             row += [m.throughput / 1e6, m.traffic_per_element]
         rows.append(row)
+    return format_table(headers, rows)
+
+
+def phase_breakdown_table(measurements: Iterable[OpMeasurement]) -> str:
+    """Per-op × per-phase time shares (the fine-grained Fig. 6 view).
+
+    Each cell is the fraction of the op's summed per-phase time attributed
+    to that phase at charge time (``OpMeasurement.phases``); phases an op
+    never touched render as 0.
+    """
+    ms = list(measurements)
+    labels = sorted({ph for m in ms for ph in m.phases})
+    headers = ["op"] + labels
+    rows = []
+    for m in ms:
+        frac = m.phase_fractions()
+        rows.append([m.op] + [frac.get(label, 0.0) for label in labels])
     return format_table(headers, rows)
 
 

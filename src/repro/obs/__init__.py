@@ -1,0 +1,42 @@
+"""Structured tracing and metrics for the PIM Model simulator (``repro.obs``).
+
+The simulator's counters (:class:`repro.pim.PIMStats`) are the ground truth
+every reproduced figure is computed from, so this package makes them
+*observable*: when a :class:`TraceCollector` is attached to a
+:class:`repro.pim.PIMSystem`, every charge — CPU work, DRAM traffic, PIM
+cycles, CPU↔PIM words — emits a typed :class:`TraceEvent` tagged with the
+phase that was active *at charge time*, and every BSP round closes with a
+:class:`RoundRecord` (straggler module, per-module cycle histogram, booked
+per-phase quantities).
+
+Two views are maintained:
+
+* a bounded **ring buffer** of raw events (recent history for inspection;
+  old events are dropped, with a drop count, once capacity is reached);
+* a running :class:`Timeline` of per-phase and per-module **aggregates**
+  that is updated with exactly the same increments, in exactly the same
+  order, as the simulator's own counters — so
+  :meth:`Timeline.reconcile` can check bit-exact agreement with
+  :class:`~repro.pim.PIMStats` at any point.
+
+With no collector attached the simulator pays a single ``is None`` check
+per charge and the counters are byte-identical to the untraced run.
+
+Driven from the CLI via ``python -m repro.cli trace`` (JSON/CSV export).
+"""
+
+from .export import timeline_csv, timeline_json, write_trace
+from .timeline import ModuleTimeline, Timeline
+from .trace import EventKind, RoundRecord, TraceCollector, TraceEvent
+
+__all__ = [
+    "EventKind",
+    "ModuleTimeline",
+    "RoundRecord",
+    "Timeline",
+    "TraceCollector",
+    "TraceEvent",
+    "timeline_csv",
+    "timeline_json",
+    "write_trace",
+]

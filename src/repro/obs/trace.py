@@ -1,0 +1,237 @@
+"""Typed trace events, per-round records and the ring-buffered collector.
+
+Design contract with :class:`repro.pim.PIMSystem`:
+
+* the simulator calls the ``on_*`` hooks *after* booking the identical
+  amounts into its own :class:`~repro.pim.PIMStats`, passing the phase
+  that was active at charge time;
+* the collector never feeds back into the simulator — attaching a
+  collector must leave every counter byte-identical to the untraced run;
+* raw per-charge events (``pim``/``send``/``recv``) describe what modules
+  actually did and live only in the ring buffer and the per-module
+  aggregates; the per-phase aggregates are driven exclusively by the
+  *booked* events (``cpu``/``dram``/``comm_flat`` and the round-close
+  :class:`RoundRecord`), which is what makes
+  :meth:`~repro.obs.timeline.Timeline.reconcile` exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .timeline import Timeline
+
+__all__ = ["EventKind", "RoundRecord", "TraceCollector", "TraceEvent"]
+
+
+class EventKind:
+    """String constants naming every trace-event type."""
+
+    CPU = "cpu"  # value = ops, aux = span
+    DRAM = "dram"  # value = words, aux = 1.0 if streamed else 0.0
+    COMM_FLAT = "comm_flat"  # value = words (round-less replication traffic)
+    PIM = "pim"  # value = cycles on module `mid` (raw)
+    SEND = "send"  # value = words CPU → module `mid` (raw)
+    RECV = "recv"  # value = words module `mid` → CPU (raw)
+    ROUND = "round"  # value = straggler cycles; aux = total words
+
+    ALL = (CPU, DRAM, COMM_FLAT, PIM, SEND, RECV, ROUND)
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One simulator charge, tagged with its charge-time phase."""
+
+    seq: int  # monotone event number (gaps ⇒ ring dropped events)
+    kind: str  # one of EventKind.ALL
+    phase: str  # phase active when the charge happened
+    mid: int  # module id, or -1 for host-side events
+    round_index: int  # BSP round the event belongs to, -1 outside rounds
+    value: float
+    aux: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "phase": self.phase,
+            "mid": self.mid,
+            "round": self.round_index,
+            "value": float(self.value),
+            "aux": float(self.aux),
+        }
+
+
+@dataclass(slots=True)
+class RoundRecord:
+    """Everything booked when one (non-empty) BSP round closed."""
+
+    index: int  # 0-based charged-round number
+    entry_phase: str  # phase active when the round was opened
+    straggler_mid: int  # module whose cycles set the round's PIM time
+    max_cycles: float  # the straggler's cycles (what PIM time grew by)
+    total_words: float  # Σ words over modules
+    max_words: float  # bottleneck module's words
+    max_words_mid: int  # which module that was (-1 if no words moved)
+    module_rounds: int  # modules that moved data
+    touched: int  # modules charged at all
+    cycles_by_module: dict[int, float] = field(default_factory=dict)
+    words_by_module: dict[int, float] = field(default_factory=dict)
+    # Booked per-phase quantities (charge-time attribution).  Word bookings
+    # are kept at (module, phase) granularity so the collector can replay
+    # them in the exact order the simulator booked them — float addition is
+    # not associative, and replaying coarser merges would cost bit-exact
+    # reconciliation.
+    pim_cycles_by_phase: dict[str, float] = field(default_factory=dict)
+    phase_words_by_module: dict[int, dict[str, float]] = field(default_factory=dict)
+    comm_max_words_by_phase: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def comm_words_by_phase(self) -> dict[str, float]:
+        """Merged per-phase word totals (derived view for export)."""
+        out: dict[str, float] = {}
+        for d in self.phase_words_by_module.values():
+            for ph, w in d.items():
+                out[ph] = out.get(ph, 0.0) + w
+        return out
+
+    def to_dict(self) -> dict:
+        def f(d: dict) -> dict:
+            return {str(k): float(v) for k, v in d.items()}
+
+        return {
+            "index": self.index,
+            "entry_phase": self.entry_phase,
+            "straggler_mid": self.straggler_mid,
+            "max_cycles": float(self.max_cycles),
+            "total_words": float(self.total_words),
+            "max_words": float(self.max_words),
+            "max_words_mid": self.max_words_mid,
+            "module_rounds": self.module_rounds,
+            "touched": self.touched,
+            "cycles_by_module": f(self.cycles_by_module),
+            "words_by_module": f(self.words_by_module),
+            "pim_cycles_by_phase": f(self.pim_cycles_by_phase),
+            "comm_words_by_phase": f(self.comm_words_by_phase),
+            "comm_max_words_by_phase": f(self.comm_max_words_by_phase),
+        }
+
+
+class TraceCollector:
+    """Ring-buffered event sink plus running timeline aggregation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum raw events retained (oldest dropped first; ``dropped``
+        counts casualties).  The timeline aggregates are *not* affected by
+        ring wraparound — they are running sums over every event observed.
+    keep_rounds:
+        Maximum :class:`RoundRecord` objects retained (same ring policy).
+    """
+
+    def __init__(self, capacity: int = 65536, *, keep_rounds: int = 8192) -> None:
+        if capacity < 1 or keep_rounds < 1:
+            raise ValueError("ring capacities must be >= 1")
+        self.capacity = int(capacity)
+        self._events: deque[TraceEvent] = deque(maxlen=self.capacity)
+        self._rounds: deque[RoundRecord] = deque(maxlen=int(keep_rounds))
+        self.timeline = Timeline()
+        self.seq = 0  # events emitted (including dropped)
+        self.rounds_seen = 0
+
+    # -- ring -----------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return self.seq - len(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        """Retained raw events, oldest first."""
+        return list(self._events)
+
+    def rounds(self) -> list[RoundRecord]:
+        """Retained round records, oldest first."""
+        return list(self._rounds)
+
+    def _emit(self, kind: str, phase: str, mid: int, round_index: int,
+              value: float, aux: float = 0.0) -> None:
+        self._events.append(
+            TraceEvent(self.seq, kind, phase, mid, round_index, value, aux)
+        )
+        self.seq += 1
+
+    # -- hooks called by PIMSystem (booked host-side charges) ------------
+    def on_cpu(self, phase: str, ops: float, span: float) -> None:
+        self._emit(EventKind.CPU, phase, -1, -1, ops, span)
+        p = self.timeline.phase(phase)
+        p.cpu_ops += ops
+        p.cpu_span += span
+        t = self.timeline.total
+        t.cpu_ops += ops
+        t.cpu_span += span
+
+    def on_dram(self, phase: str, words: float, *, streamed: bool) -> None:
+        self._emit(EventKind.DRAM, phase, -1, -1, words, 1.0 if streamed else 0.0)
+        self.timeline.phase(phase).dram_words += words
+        self.timeline.total.dram_words += words
+
+    def on_comm_flat(self, phase: str, words: float, max_words: float) -> None:
+        self._emit(EventKind.COMM_FLAT, phase, -1, -1, words, max_words)
+        p = self.timeline.phase(phase)
+        p.comm_words += words
+        p.comm_max_words += max_words
+        t = self.timeline.total
+        t.comm_words += words
+        t.comm_max_words += max_words
+
+    # -- hooks called by PIMSystem (raw in-round activity) ----------------
+    def on_pim(self, phase: str, mid: int, cycles: float) -> None:
+        self._emit(EventKind.PIM, phase, mid, self.rounds_seen, cycles)
+        self.timeline.module(mid).cycles += cycles
+
+    def on_send(self, phase: str, mid: int, words: float) -> None:
+        self._emit(EventKind.SEND, phase, mid, self.rounds_seen, words)
+        self.timeline.module(mid).recv_words += words
+
+    def on_recv(self, phase: str, mid: int, words: float) -> None:
+        self._emit(EventKind.RECV, phase, mid, self.rounds_seen, words)
+        self.timeline.module(mid).send_words += words
+
+    # -- round close ------------------------------------------------------
+    def on_round(self, rec: RoundRecord) -> None:
+        """Book one closed round exactly as the simulator booked it."""
+        self._emit(
+            EventKind.ROUND, rec.entry_phase, rec.straggler_mid, rec.index,
+            rec.max_cycles, rec.total_words,
+        )
+        self._rounds.append(rec)
+        self.rounds_seen = rec.index + 1
+
+        tl = self.timeline
+        t = tl.total
+        t.pim_cycles += rec.max_cycles
+        t.comm_words += rec.total_words
+        t.comm_max_words += rec.max_words
+        t.rounds += 1
+        t.module_rounds += rec.module_rounds
+        for ph, cyc in rec.pim_cycles_by_phase.items():
+            tl.phase(ph).pim_cycles += cyc
+        # Replay word bookings at (module, phase) granularity, in module
+        # order — the same order the simulator used — for bit-exactness.
+        for d in rec.phase_words_by_module.values():
+            for ph, w in d.items():
+                tl.phase(ph).comm_words += w
+        for ph, w in rec.comm_max_words_by_phase.items():
+            tl.phase(ph).comm_max_words += w
+        entry = tl.phase(rec.entry_phase)
+        entry.rounds += 1
+        entry.module_rounds += rec.module_rounds
+        tl.mux_switches += 2
+
+        for mid in rec.cycles_by_module:
+            tl.module(mid).active_rounds += 1
+        for mid in rec.words_by_module:
+            if mid not in rec.cycles_by_module:
+                tl.module(mid).active_rounds += 1
+        tl.module(rec.straggler_mid).straggler_rounds += 1

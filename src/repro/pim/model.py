@@ -15,10 +15,18 @@ the simulator accounts for it exactly as the PIM Model defines:
   words total and per-module; each round also counts two mux switches
   (CPU→PIM and PIM→CPU handover [54]).
 
-Phases (:meth:`phase`) label charges for the Fig. 6 runtime breakdown.
-Placement (:meth:`place`) is the hash-based randomisation of §3: a salted
-deterministic hash, so layouts are reproducible under a fixed seed yet
-adversary-oblivious.
+Phases (:meth:`phase`) label charges for the Fig. 6 runtime breakdown;
+attribution is decided *at charge time*: work/communication charged while a
+phase is active is booked to that phase even when the enclosing BSP round
+closes under a different phase, and a round that touched no module charges
+nothing (no round, no mux switch).  Placement (:meth:`place`) is the
+hash-based randomisation of §3: a salted deterministic hash, so layouts are
+reproducible under a fixed seed yet adversary-oblivious.
+
+An optional :class:`repro.obs.TraceCollector` (``tracer=`` /
+:meth:`attach_tracer`) observes every charge and round close; with none
+attached the per-charge cost is a single ``is None`` test and the counters
+are byte-identical to an untraced run.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ class PIMSystem:
         llc_bytes: int = 22 * 2**20,
         module_capacity_words: int | None = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if n_modules < 1:
             raise ValueError("need at least one PIM module")
@@ -61,6 +70,30 @@ class PIMSystem:
         self._phase_stack: list[str] = []
         self._in_round = False
         self._round_dirty: set[int] = set()
+        self._round_entry_phase = "other"
+        self._rounds_charged = 0  # non-empty rounds closed so far
+        self._trace = tracer
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.TraceCollector`, or ``None``."""
+        return self._trace
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a trace collector (replaces any previous one).
+
+        For exact reconciliation against :attr:`stats`, attach before any
+        charge — or diff the stats against a snapshot taken now.
+        """
+        self._trace = tracer
+
+    def detach_tracer(self):
+        """Detach and return the current collector (tracing off)."""
+        tracer, self._trace = self._trace, None
+        return tracer
 
     # ------------------------------------------------------------------
     # placement
@@ -93,19 +126,25 @@ class PIMSystem:
     # ------------------------------------------------------------------
     def charge_cpu(self, ops: float, span: float = 0.0) -> None:
         """Charge CPU work (instructions across all threads) and span."""
+        phase = self.current_phase
         t = self.stats.total
         t.cpu_ops += ops
         t.cpu_span += span
-        p = self.stats.phase(self.current_phase)
+        p = self.stats.phase(phase)
         p.cpu_ops += ops
         p.cpu_span += span
+        if self._trace is not None:
+            self._trace.on_cpu(phase, ops, span)
 
     def touch_cpu_block(self, block_id) -> bool:
         """One CPU access to a 64-byte block; charges DRAM traffic on miss."""
         hit = self.llc.touch(block_id)
         if not hit:
+            phase = self.current_phase
             self.stats.total.dram_words += _WORDS_PER_BLOCK
-            self.stats.phase(self.current_phase).dram_words += _WORDS_PER_BLOCK
+            self.stats.phase(phase).dram_words += _WORDS_PER_BLOCK
+            if self._trace is not None:
+                self._trace.on_dram(phase, _WORDS_PER_BLOCK, streamed=False)
         return hit
 
     def touch_cpu_range(self, base_id, n_blocks: int) -> None:
@@ -114,9 +153,12 @@ class PIMSystem:
 
     def dram_stream(self, words: float) -> None:
         """Streaming (non-cached) CPU↔DRAM transfer of ``words`` words."""
+        phase = self.current_phase
         self.llc.streamed_words += int(words)
         self.stats.total.dram_words += words
-        self.stats.phase(self.current_phase).dram_words += words
+        self.stats.phase(phase).dram_words += words
+        if self._trace is not None:
+            self._trace.on_dram(phase, words, streamed=True)
 
     # ------------------------------------------------------------------
     # BSP rounds / PIM side
@@ -128,37 +170,103 @@ class PIMSystem:
         At close, the straggler's cycles (max over modules) are added to
         PIM time; communication is totalled and its per-module maximum
         recorded (the channel to one module is the bottleneck link).
+
+        Attribution is decided at charge time: the straggler's cycles and
+        every module's words are booked to the phases under which they were
+        charged (round-level scalars — the round itself and its DMA module
+        rounds — go to the phase active at round *entry*).  A round that
+        touched no module is a no-op: no round, no mux switch, no charge.
         """
         if self._in_round:
             raise RuntimeError("BSP rounds cannot nest")
         self._in_round = True
         self._round_dirty.clear()
+        self._round_entry_phase = self.current_phase
         try:
             yield
         finally:
             self._in_round = False
-            max_cycles = 0.0
-            max_words = 0.0
-            total_words = 0.0
-            module_rounds = 0
-            for mid in self._round_dirty:
-                m = self.modules[mid]
-                if m.round_cycles > max_cycles:
-                    max_cycles = m.round_cycles
-                w = m.round_words
-                total_words += w
-                if w > 0:
-                    module_rounds += 1
-                if w > max_words:
-                    max_words = w
-                m.begin_round()
-            for counters in (self.stats.total, self.stats.phase(self.current_phase)):
-                counters.pim_cycles += max_cycles
-                counters.comm_words += total_words
-                counters.comm_max_words += max_words
-                counters.rounds += 1
-                counters.module_rounds += module_rounds
-            self.stats.mux_switches += 2
+            if self._round_dirty:
+                self._close_round()
+
+    def _close_round(self) -> None:
+        """Book one non-empty BSP round into the stats (and the trace)."""
+        dirty = [self.modules[mid] for mid in sorted(self._round_dirty)]
+        straggler = dirty[0]
+        max_words_module = None
+        max_cycles = 0.0
+        max_words = 0.0
+        total_words = 0.0
+        module_rounds = 0
+        for m in dirty:
+            if m.round_cycles > max_cycles:
+                max_cycles = m.round_cycles
+                straggler = m
+            w = m.round_words
+            total_words += w
+            if w > 0:
+                module_rounds += 1
+            if w > max_words:
+                max_words = w
+                max_words_module = m
+
+        t = self.stats.total
+        t.pim_cycles += max_cycles
+        t.comm_words += total_words
+        t.comm_max_words += max_words
+        t.rounds += 1
+        t.module_rounds += module_rounds
+        # Charge-time attribution: the straggler's cycles split by the
+        # phases it was charged under; comm split by each word's phase; the
+        # bottleneck-link max by the bottleneck module's phases.  Round
+        # scalars go to the entry phase.  Every total increment above is
+        # mirrored exactly by the per-phase increments below, so
+        # ``total == Σ phases`` holds for every counter.
+        for ph, cyc in straggler.round_phase_cycles.items():
+            self.stats.phase(ph).pim_cycles += cyc
+        for m in dirty:
+            for ph, w in m.round_phase_words.items():
+                self.stats.phase(ph).comm_words += w
+        if max_words_module is not None:
+            for ph, w in max_words_module.round_phase_words.items():
+                self.stats.phase(ph).comm_max_words += w
+        entry = self.stats.phase(self._round_entry_phase)
+        entry.rounds += 1
+        entry.module_rounds += module_rounds
+        self.stats.mux_switches += 2
+
+        if self._trace is not None:
+            from ..obs.trace import RoundRecord
+
+            self._trace.on_round(
+                RoundRecord(
+                    index=self._rounds_charged,
+                    entry_phase=self._round_entry_phase,
+                    straggler_mid=straggler.mid,
+                    max_cycles=max_cycles,
+                    total_words=total_words,
+                    max_words=max_words,
+                    max_words_mid=(
+                        max_words_module.mid if max_words_module is not None else -1
+                    ),
+                    module_rounds=module_rounds,
+                    touched=len(dirty),
+                    cycles_by_module={m.mid: m.round_cycles for m in dirty},
+                    words_by_module={m.mid: m.round_words for m in dirty},
+                    pim_cycles_by_phase=dict(straggler.round_phase_cycles),
+                    phase_words_by_module={
+                        m.mid: dict(m.round_phase_words) for m in dirty
+                    },
+                    comm_max_words_by_phase=(
+                        dict(max_words_module.round_phase_words)
+                        if max_words_module is not None
+                        else {}
+                    ),
+                )
+            )
+        self._rounds_charged += 1
+        for m in dirty:
+            m.begin_round()
 
     def _module_in_round(self, mid: int) -> PIMModule:
         if not self._in_round:
@@ -168,15 +276,24 @@ class PIMSystem:
 
     def charge_pim(self, mid: int, cycles: float) -> None:
         """Charge PIM-core cycles on module ``mid`` in the current round."""
-        self._module_in_round(mid).charge(cycles)
+        phase = self.current_phase
+        self._module_in_round(mid).charge(cycles, phase)
+        if self._trace is not None:
+            self._trace.on_pim(phase, mid, cycles)
 
     def send(self, mid: int, words: float) -> None:
         """CPU → module transfer of ``words`` words in the current round."""
-        self._module_in_round(mid).round_recv_words += words
+        phase = self.current_phase
+        self._module_in_round(mid).add_recv(words, phase)
+        if self._trace is not None:
+            self._trace.on_send(phase, mid, words)
 
     def recv(self, mid: int, words: float) -> None:
         """Module → CPU transfer of ``words`` words in the current round."""
-        self._module_in_round(mid).round_send_words += words
+        phase = self.current_phase
+        self._module_in_round(mid).add_send(words, phase)
+        if self._trace is not None:
+            self._trace.on_recv(phase, mid, words)
 
     def charge_comm_flat(self, words: float) -> None:
         """Charge CPU↔PIM words without binding them to a specific round.
@@ -188,9 +305,13 @@ class PIMSystem:
         """
         if words <= 0:
             return
-        for counters in (self.stats.total, self.stats.phase(self.current_phase)):
+        phase = self.current_phase
+        max_words = words / self.n_modules
+        for counters in (self.stats.total, self.stats.phase(phase)):
             counters.comm_words += words
-            counters.comm_max_words += words / self.n_modules
+            counters.comm_max_words += max_words
+        if self._trace is not None:
+            self._trace.on_comm_flat(phase, words, max_words)
 
     def broadcast(self, words_per_module: float) -> None:
         """CPU → all modules (replication update); charged per module."""

@@ -23,6 +23,8 @@ class PIMModule:
         "round_cycles",
         "round_send_words",
         "round_recv_words",
+        "round_phase_cycles",
+        "round_phase_words",
         "master_words",
         "cache_words",
     )
@@ -34,20 +36,43 @@ class PIMModule:
         self.round_cycles = 0.0
         self.round_send_words = 0.0
         self.round_recv_words = 0.0
+        # Charge-time phase attribution within the current round: the
+        # round-close booking splits the straggler max / comm totals by the
+        # phase that was active when each charge happened (not the phase at
+        # round exit).  Invariants: sum(round_phase_cycles.values()) ==
+        # round_cycles and sum(round_phase_words.values()) == round_words.
+        self.round_phase_cycles: dict[str, float] = {}
+        self.round_phase_words: dict[str, float] = {}
         # Residency: master copies vs cached (shared) copies, in words.
         self.master_words = 0.0
         self.cache_words = 0.0
 
     # -- execution ------------------------------------------------------
-    def charge(self, cycles: float) -> None:
+    def charge(self, cycles: float, phase: str = "other") -> None:
         """Execute ``cycles`` of PIM-core work in the current round."""
         self.round_cycles += cycles
         self.total_cycles += cycles
+        d = self.round_phase_cycles
+        d[phase] = d.get(phase, 0.0) + cycles
+
+    def add_recv(self, words: float, phase: str = "other") -> None:
+        """Words arriving CPU → module in the current round."""
+        self.round_recv_words += words
+        d = self.round_phase_words
+        d[phase] = d.get(phase, 0.0) + words
+
+    def add_send(self, words: float, phase: str = "other") -> None:
+        """Words leaving module → CPU in the current round."""
+        self.round_send_words += words
+        d = self.round_phase_words
+        d[phase] = d.get(phase, 0.0) + words
 
     def begin_round(self) -> None:
         self.round_cycles = 0.0
         self.round_send_words = 0.0
         self.round_recv_words = 0.0
+        self.round_phase_cycles = {}
+        self.round_phase_words = {}
 
     @property
     def round_words(self) -> float:

@@ -112,6 +112,34 @@ class TestEncodeDecode:
             morton_encode(np.array([[-1, 2]], dtype=np.int64), 8)
 
 
+class TestFloatCoordValidation:
+    """Regression: the uint64 cast used to wrap negative / fractional
+    floats silently (split_by_2([-1.0]) came back as a huge key)."""
+
+    def test_negative_float_rejected(self):
+        with pytest.raises(ValueError):
+            split_by_2(np.array([-1.0]))
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ValueError):
+            split_by_2(np.array([1.5]))
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[0.25, 2.0]]), 8)
+
+    def test_non_finite_rejected(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValueError):
+                split_by_2(np.array([bad]))
+
+    def test_integral_floats_encode_like_ints(self):
+        f = np.array([[3.0, 7.0], [0.0, 255.0]])
+        i = f.astype(np.uint64)
+        assert np.array_equal(morton_encode(f, 8), morton_encode(i, 8))
+        assert np.array_equal(
+            split_by_2(np.array([12.0])), split_by_2(np.array([12], dtype=np.uint64))
+        )
+
+
 class TestCodec:
     def test_fit_covers_points(self, pts3d):
         codec = MortonCodec.fit(pts3d)

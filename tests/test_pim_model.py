@@ -80,6 +80,24 @@ class TestBSPRounds:
         assert sys.stats.total.comm_max_words == 10
         assert sys.stats.total.module_rounds == 2
 
+    def test_empty_round_charges_nothing(self):
+        """Regression: a round that touched no module must be a no-op —
+        no round, no mux switches, no PIM time (seed code charged
+        rounds += 1 and mux_switches += 2 for no-op rounds)."""
+        sys = PIMSystem(4)
+        with sys.round():
+            pass
+        assert sys.stats.total.rounds == 0
+        assert sys.stats.mux_switches == 0
+        assert sys.stats.total.pim_cycles == 0
+        assert sys.stats.total.comm_words == 0
+        assert sys.stats.total.module_rounds == 0
+        # A real round afterwards still charges normally.
+        with sys.round():
+            sys.charge_pim(0, 5)
+        assert sys.stats.total.rounds == 1
+        assert sys.stats.mux_switches == 2
+
     def test_pim_activity_outside_round_raises(self):
         sys = PIMSystem(2)
         with pytest.raises(RuntimeError):
@@ -118,6 +136,42 @@ class TestPhases:
         assert sys.stats.phases["alpha"].cpu_ops == 10
         assert sys.stats.phases["beta"].cpu_ops == 5
         assert sys.stats.total.cpu_ops == 15
+
+    def test_charge_pim_books_to_phase_at_charge_time(self):
+        """Regression: a phase entered *inside* a round owns the PIM cycles
+        and words charged under it.  Seed code attributed everything at
+        round close to whatever phase was active then (often the round's
+        outer phase, or "other")."""
+        sys = PIMSystem(2)
+        with sys.phase("outer"):
+            with sys.round():
+                with sys.phase("inner"):
+                    sys.charge_pim(0, 100)
+                    sys.send(0, 7)
+        inner = sys.stats.phases["inner"]
+        assert inner.pim_cycles == 100
+        assert inner.comm_words == 7
+        assert inner.comm_max_words == 7
+        # Round-level scalars go to the phase active at round entry.
+        outer = sys.stats.phases["outer"]
+        assert outer.rounds == 1
+        assert outer.module_rounds == 1
+        assert outer.pim_cycles == 0
+        assert outer.comm_words == 0
+
+    def test_straggler_cycles_split_across_phases(self):
+        """The straggler's max-cycle charge is split by the phases under
+        which the straggler itself accumulated work."""
+        sys = PIMSystem(2)
+        with sys.round():
+            with sys.phase("a"):
+                sys.charge_pim(0, 30)
+            with sys.phase("b"):
+                sys.charge_pim(0, 70)
+                sys.charge_pim(1, 10)  # not the straggler
+        assert sys.stats.total.pim_cycles == 100
+        assert sys.stats.phases["a"].pim_cycles == 30
+        assert sys.stats.phases["b"].pim_cycles == 70
 
     def test_snapshot_diff_isolates_window(self):
         sys = PIMSystem(2)
@@ -251,3 +305,95 @@ class TestCostModel:
         with skewed.round():
             skewed.charge_pim(0, 100)
         assert skewed.stats.total.pim_cycles > balanced.stats.total.pim_cycles
+
+
+class TestPhaseSumInvariant:
+    """Property: after any workload, ``stats.total`` equals the sum over
+    ``stats.phases`` for every counter (charge-time attribution never loses
+    or double-books work)."""
+
+    COUNTERS = (
+        "cpu_ops",
+        "cpu_span",
+        "pim_cycles",
+        "comm_words",
+        "comm_max_words",
+        "rounds",
+        "module_rounds",
+        "dram_words",
+    )
+
+    @staticmethod
+    def _check(sys):
+        from repro.pim.stats import PhaseCounters
+
+        summed = PhaseCounters()
+        for c in sys.stats.phases.values():
+            summed.add(c)
+        for f in TestPhaseSumInvariant.COUNTERS:
+            assert getattr(sys.stats.total, f) == getattr(summed, f), f
+
+    def test_mixed_workload_hypothesis(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        # Integer-valued charges keep float sums exact, so the invariant
+        # can be asserted with ``==`` rather than approx.
+        action = st.one_of(
+            st.tuples(st.just("cpu"), st.integers(1, 50)),
+            st.tuples(st.just("dram"), st.integers(1, 50)),
+            st.tuples(st.just("flat"), st.integers(1, 50)),
+            st.tuples(
+                st.just("round"),
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(["pim", "send", "recv"]),
+                        st.integers(0, 3),  # module id
+                        st.integers(1, 40),  # amount
+                        st.sampled_from(["p0", "p1", "p2"]),  # inner phase
+                    ),
+                    max_size=6,
+                ),
+            ),
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            script=st.lists(
+                st.tuples(st.sampled_from(["p0", "p1", "p2"]), action),
+                max_size=12,
+            )
+        )
+        def run(script):
+            sys = PIMSystem(4)
+            for outer_phase, (kind, arg) in script:
+                with sys.phase(outer_phase):
+                    if kind == "cpu":
+                        sys.charge_cpu(arg)
+                    elif kind == "dram":
+                        sys.dram_stream(arg)
+                    elif kind == "flat":
+                        sys.charge_comm_flat(arg)
+                    else:  # round
+                        with sys.round():
+                            for verb, mid, amount, inner in arg:
+                                with sys.phase(inner):
+                                    if verb == "pim":
+                                        sys.charge_pim(mid, amount)
+                                    elif verb == "send":
+                                        sys.send(mid, amount)
+                                    else:
+                                        sys.recv(mid, amount)
+            self._check(sys)
+
+        run()
+
+    def test_llc_misses_respect_invariant(self):
+        sys = PIMSystem(2, llc_bytes=64 * 4)
+        with sys.phase("scan"):
+            for i in range(16):
+                sys.touch_cpu_block(("blk", i))
+        with sys.phase("rescan"):
+            for i in range(16):
+                sys.touch_cpu_block(("blk", i))
+        self._check(sys)
