@@ -42,13 +42,19 @@ def datasets():
 
 @pytest.fixture(scope="session")
 def fresh_points_factory():
+    """Per-dataset fresh-point sources, each threading ONE seeded Generator.
+
+    The generators accept a ``np.random.Generator`` directly, so every
+    draw advances a single explicit stream — no module-level RNG state,
+    and two factories built the same way produce identical streams.
+    """
+
     def factory(name: str):
         gen = _GENERATORS[name]
-        state = {"i": 0}
+        rng = np.random.default_rng((SEED, sorted(_GENERATORS).index(name)))
 
         def fresh(n: int) -> np.ndarray:
-            state["i"] += 1
-            return gen(n, 3, seed=SEED * 1000 + state["i"])
+            return gen(n, 3, seed=rng)
 
         return fresh
 

@@ -1,0 +1,86 @@
+"""Exec-mode smoke: one Fig. 5 uniform config in both execution modes.
+
+Two guarantees, checked on the real benchmark scale (n = 100k uniform,
+P = 64) rather than the small tier-1 workloads:
+
+* **Counter-exactness** — the vectorized group kernels must leave every
+  simulated measurement (PIMStats, sim time, traffic, per-phase split)
+  byte-identical to the scalar reference path.
+* **Speed** — the whole point of the vectorized layer: the suite's
+  wall-clock must be at least 5× faster than reference mode (the PR's
+  acceptance bar; locally it measures ~6-8×).
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/test_exec_modes_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import FIG5_OPS, calibrate_box_side, run_suite
+from repro.eval.harness import PIMZdTreeAdapter
+from repro.workloads import uniform_points
+
+N = 100_000
+BATCH = 256
+N_MODULES = 64
+SEED = 7
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = uniform_points(N, 3, seed=SEED)
+    sides = {t: calibrate_box_side(data, t, seed=SEED) for t in (1, 10, 100)}
+    return data, sides
+
+
+def _run(mode: str, data, sides):
+    fresh_rng = np.random.default_rng(SEED * 1000)
+
+    def fresh(n: int) -> np.ndarray:
+        return uniform_points(n, 3, seed=fresh_rng)
+
+    ad = PIMZdTreeAdapter(data, n_modules=N_MODULES, seed=SEED,
+                          exec_mode=mode)
+    t0 = time.perf_counter()
+    ms = run_suite(ad, data=data, ops=FIG5_OPS, batch=BATCH, seed=SEED,
+                   fresh_points=fresh, box_sides=sides)
+    wall = time.perf_counter() - t0
+    return ms, ad.system.stats, wall
+
+
+def test_fig5_uniform_both_modes(workload):
+    data, sides = workload
+    ref_ms, ref_stats, ref_wall = _run("reference", data, sides)
+    vec_ms, vec_stats, vec_wall = _run("vectorized", data, sides)
+
+    # --- identical simulated measurements, op by op -------------------
+    for a, b in zip(ref_ms, vec_ms):
+        assert a.op == b.op
+        assert a.elements == b.elements, a.op
+        assert a.sim_time_s == b.sim_time_s, a.op
+        assert a.traffic_bytes == b.traffic_bytes, a.op
+        assert a.phases == b.phases, a.op
+
+    # --- identical full stats, with a per-phase diff on failure -------
+    if ref_stats != vec_stats:
+        lines = []
+        for lab in sorted(set(ref_stats.phases) | set(vec_stats.phases)):
+            pa = ref_stats.phases.get(lab)
+            pb = vec_stats.phases.get(lab)
+            if pa != pb:
+                lines.append(f"phase {lab}:\n  ref={pa}\n  vec={pb}")
+        raise AssertionError("PIMStats diverge at n=100k:\n" + "\n".join(lines))
+
+    # --- wall-clock speedup -------------------------------------------
+    speedup = ref_wall / vec_wall
+    print(f"\nexec-mode smoke: reference {ref_wall:.2f}s, "
+          f"vectorized {vec_wall:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized suite only {speedup:.2f}x faster than reference "
+        f"(need >= {MIN_SPEEDUP}x): ref {ref_wall:.2f}s vs vec {vec_wall:.2f}s"
+    )

@@ -1,0 +1,124 @@
+"""Stdlib-only line-coverage gate for ``src/repro/core``.
+
+CI enforces coverage with pytest-cov; this script is the offline
+equivalent for environments (like the development container) where
+coverage/pytest-cov are not installed.  It runs the tier-1 suite under a
+``sys.settrace`` collector restricted to ``src/repro/core``, derives the
+executable-line denominator from compiled code objects (``co_lines``,
+the same source coverage.py uses), and fails if total line coverage for
+the package drops below the floor.
+
+Usage:
+    python scripts/coverage_gate.py [--fail-under PCT] [pytest args...]
+
+Notes:
+  * Tracing is slow (pure-python per-line callbacks in the scalar
+    reference paths) — expect a several-fold slowdown over a plain run.
+  * The measured number tracks coverage.py closely but not exactly
+    (e.g. it counts ``else``/decorator lines slightly differently), so
+    keep a small margin between the measured value and the CI floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CORE = REPO / "src" / "repro" / "core"
+
+
+def executable_lines(path: Path) -> set[int]:
+    """All line numbers the compiler emits code for in ``path``."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        lines.update(ln for _, _, ln in co.co_lines() if ln is not None)
+        stack.extend(c for c in co.co_consts if hasattr(c, "co_lines"))
+    # The module's synthetic epilogue line (return None) isn't source.
+    return lines
+
+
+class CoreTracer:
+    """Global tracer installing a per-line local tracer only in core files."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.hits: dict[str, set[int]] = {}
+
+    def global_trace(self, frame, event, arg):
+        fn = frame.f_code.co_filename
+        if not fn.startswith(self.prefix):
+            return None
+        hits = self.hits.setdefault(fn, set())
+        hits.add(frame.f_lineno)
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                hits.add(frame.f_lineno)
+            return local_trace
+
+        return local_trace
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fail-under", type=float, default=None,
+                    help="minimum total line coverage percent for repro.core")
+    args, pytest_args = ap.parse_known_args()
+
+    sys.path.insert(0, str(REPO / "src"))
+    os.chdir(REPO)
+    import pytest
+
+    tracer = CoreTracer(str(CORE) + os.sep)
+    threading_settrace = None
+    try:
+        import threading
+
+        threading.settrace(tracer.global_trace)
+        threading_settrace = threading
+    except ImportError:
+        pass
+    sys.settrace(tracer.global_trace)
+    try:
+        rc = pytest.main(["-q", *pytest_args] or ["-q"])
+    finally:
+        sys.settrace(None)
+        if threading_settrace is not None:
+            threading_settrace.settrace(None)
+    if rc != 0:
+        print(f"coverage_gate: pytest failed (exit {rc}); not scoring")
+        return int(rc)
+
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(CORE.glob("*.py")):
+        exe = executable_lines(path)
+        hit = tracer.hits.get(str(path), set()) & exe
+        total_exec += len(exe)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(exe) if exe else 100.0
+        rows.append((path.name, len(exe), len(hit), pct))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'file':<{width}}  {'lines':>6}  {'hit':>6}  {'cover':>7}")
+    for name, n_exe, n_hit, pct in rows:
+        print(f"{name:<{width}}  {n_exe:>6}  {n_hit:>6}  {pct:>6.1f}%")
+    total_pct = 100.0 * total_hit / max(1, total_exec)
+    print(f"{'TOTAL':<{width}}  {total_exec:>6}  {total_hit:>6}  "
+          f"{total_pct:>6.1f}%")
+
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(f"coverage_gate: FAIL — {total_pct:.1f}% < "
+              f"--fail-under {args.fail_under:.1f}%")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

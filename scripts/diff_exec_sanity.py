@@ -1,0 +1,79 @@
+"""Manual differential sanity check: both exec modes, results + stats.
+
+Usage: PYTHONPATH=src python scripts/diff_exec_sanity.py [n] [dims] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import Box
+from repro.eval.harness import PIMZdTreeAdapter, calibrate_box_side, make_boxes
+
+
+def run(mode, n, dims, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, dims))
+    ad = PIMZdTreeAdapter(pts, n_modules=16, seed=3, exec_mode=mode)
+    tree = ad.tree
+    out = {}
+    qrng = np.random.default_rng(seed + 1)
+    q = pts[qrng.integers(0, n, size=64)] + qrng.normal(scale=1e-4, size=(64, dims))
+    out["knn"] = tree.knn(q, 5)
+    side = calibrate_box_side(pts, 10, seed=2)
+    boxes = make_boxes(pts, side, 32, seed=4)
+    out["bc"] = tree.box_count(boxes)
+    out["bf"] = tree.box_fetch(boxes)
+    fresh = qrng.random((200, dims))
+    tree.insert(fresh)
+    out["bc2"] = tree.box_count(boxes)
+    dele = np.vstack([pts[qrng.integers(0, n, size=100)], fresh[:50]])
+    out["ndel"] = tree.delete(dele)
+    out["knn2"] = tree.knn(q, 10)
+    out["bf2"] = tree.box_fetch(boxes)
+    tree.check_invariants()
+    return out, ad.system.stats
+
+
+def compare(a, b, label):
+    ok = True
+    if isinstance(a, np.ndarray):
+        if not (a.shape == b.shape and np.array_equal(a, b)):
+            print(f"MISMATCH {label}: arrays differ")
+            ok = False
+    elif isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            print(f"MISMATCH {label}: len {len(a)} vs {len(b)}")
+            return False
+        for i, (x, y) in enumerate(zip(a, b)):
+            ok &= compare(x, y, f"{label}[{i}]")
+    elif a != b:
+        print(f"MISMATCH {label}: {a} vs {b}")
+        ok = False
+    return ok
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    dims = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+    ref_out, ref_stats = run("reference", n, dims, seed)
+    vec_out, vec_stats = run("vectorized", n, dims, seed)
+    ok = True
+    for key in ref_out:
+        ok &= compare(ref_out[key], vec_out[key], key)
+    if ref_stats != vec_stats:
+        ok = False
+        if ref_stats.total != vec_stats.total:
+            print(f"STATS total: ref={ref_stats.total}\n             vec={vec_stats.total}")
+        for lab in sorted(set(ref_stats.phases) | set(vec_stats.phases)):
+            a = ref_stats.phases.get(lab)
+            b = vec_stats.phases.get(lab)
+            if a != b:
+                print(f"STATS phase {lab}:\n  ref={a}\n  vec={b}")
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,8 +82,14 @@ def knn_batch(tree, queries: np.ndarray, k: int, metric: Metric = L2):
                        mode="candidates")
         executor = PushPullExecutor(tree)
         hook = _make_merge_hook(tree, states, k)
-        out = executor.run(tasks, _make_candidate_handler(tree, states, coarse, k),
-                           round_hook=hook)
+        cand_handler = _make_candidate_handler(tree, states, coarse, k)
+        if tree.config.exec_mode == "vectorized":
+            from .vexec import make_candidate_group_kernel
+
+            cand_handler.group_kernel = make_candidate_group_kernel(
+                tree, states, coarse, k
+            )
+        out = executor.run(tasks, cand_handler, round_hook=hook)
         hook(out)  # merge any CPU-seeded results not covered by rounds
 
         # ---- Step 3: exact radius + sphere-covering trace node ----------
@@ -112,10 +118,15 @@ def knn_batch(tree, queries: np.ndarray, k: int, metric: Metric = L2):
 
         # ---- Step 4: fetch all points inside the (anchored) ball ---------
         executor2 = PushPullExecutor(tree)
-        fetched = executor2.run(
-            fetch_tasks,
-            _make_fetch_handler(tree, states, coarse, bounds, exact_radii),
-        )
+        fetch_handler = _make_fetch_handler(tree, states, coarse, bounds,
+                                            exact_radii)
+        if tree.config.exec_mode == "vectorized":
+            from .vexec import make_fetch_group_kernel
+
+            fetch_handler.group_kernel = make_fetch_group_kernel(
+                tree, states, coarse, bounds, exact_radii
+            )
+        fetched = executor2.run(fetch_tasks, fetch_handler)
         tree.last_executor = executor2
 
         # ---- Step 5: exact filter on the CPU ------------------------------
@@ -222,7 +233,11 @@ def _make_candidate_handler(tree, states: list[_KnnState], coarse: Metric, k: in
 
     def handler(task: Task, ctx) -> None:
         state = states[task.qid]
-        radius = state.radius()  # stale within the round: BSP-consistent
+        # Prune on the round-start radius only: the bound is fixed for the
+        # whole round (BSP-consistent), so the visit set is independent of
+        # traversal order — the property the vectorized frontier kernels
+        # rely on to charge the exact same simulated cost.
+        radius = state.radius()
         local_d: list[np.ndarray] = []
         local_p: list[np.ndarray] = []
         stack = [task.node]
@@ -231,8 +246,7 @@ def _make_candidate_handler(tree, states: list[_KnnState], coarse: Metric, k: in
             ctx.visit_node(node)
             d = dist_point_box(state.q, tree.node_box(node), coarse)
             ctx.extra_work(2 * dims, coarse.pim_cycles_per_dim * dims)
-            best_local = _kth_of(local_d, k)
-            if d > min(radius, best_local):
+            if d > radius:
                 continue
             if node.is_leaf:
                 ctx.scan_points(node.count, coarse, dims)
@@ -254,13 +268,6 @@ def _make_candidate_handler(tree, states: list[_KnnState], coarse: Metric, k: in
             ctx.result(("cand", dcat[order], pcat[order]))
 
     return handler
-
-
-def _kth_of(chunks: list[np.ndarray], k: int) -> float:
-    total = sum(len(c) for c in chunks)
-    if total < k:
-        return math.inf
-    return float(np.sort(np.concatenate(chunks))[k - 1])
 
 
 def _make_merge_hook(tree, states: list[_KnnState], k: int):

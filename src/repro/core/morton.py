@@ -352,3 +352,30 @@ class MortonCodec:
             box_lo[d] = self.lo[d] + cell_lo / self._scale[d]
             box_hi[d] = self.lo[d] + (cell_hi + 1) / self._scale[d]
         return box_lo, box_hi
+
+    def prefix_box_batch(self, prefixes, depths) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`prefix_box` over ``M`` (prefix, depth) pairs.
+
+        Returns ``(lo, hi)`` of shape ``(M, dims)``.  Bitwise identical to
+        the scalar method row by row: every intermediate stays an exact
+        integer below 2**53, so the float arithmetic reassociates freely.
+        """
+        kb = self.key_bits
+        pfx = np.asarray(prefixes, dtype=_U64)
+        dep = np.asarray(depths, dtype=np.int64)
+        if dep.size and (dep.min() < 0 or dep.max() > kb):
+            raise ValueError("depth out of range")
+        # prefix << (kb - depth); a 64-bit shift (depth == 0, kb == 64) is
+        # undefined for uint64, but the root's prefix is 0 — mask it out.
+        shift = kb - dep
+        full = shift >= 64
+        lo_key = np.where(dep < kb, pfx << np.where(full, 0, shift).astype(_U64), pfx)
+        lo_key = np.where(full, _U64(0), lo_key)
+        glo = morton_decode(lo_key, self.dims, self.bits).astype(np.float64)
+        d_idx = np.arange(self.dims)
+        fixed = np.maximum(0, (dep[:, None] - d_idx + self.dims - 1) // self.dims)
+        free = self.bits - fixed
+        pow2 = (np.int64(1) << free).astype(np.float64)  # exact: free <= 32
+        box_lo = self.lo + glo / self._scale
+        box_hi = self.lo + (glo + pow2) / self._scale
+        return box_lo, box_hi

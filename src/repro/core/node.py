@@ -81,6 +81,16 @@ class Node:
         lo = self.prefix << (key_bits - self.depth) if self.depth else 0
         return lo, lo + (1 << (key_bits - self.depth))
 
+    def key_lo(self, key_bits: int) -> int:
+        """Start of the node's key range.
+
+        The scalar handlers traverse right-child-first (LIFO stack), so
+        disjoint nodes are visited in *descending* ``key_lo`` order — the
+        vectorized kernels sort by this key to replay the exact scalar
+        visitation order (repro.core.vexec).
+        """
+        return self.prefix << (key_bits - self.depth) if self.depth else 0
+
     def child_for_key(self, key: int, key_bits: int) -> "Node":
         """The child whose range contains ``key`` (internal nodes only)."""
         bit = (key >> (key_bits - self.depth - 1)) & 1

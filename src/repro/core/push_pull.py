@@ -32,7 +32,14 @@ from ..core.geometry import Metric
 from .chunking import MetaNode
 from .node import Layer, Node
 
-__all__ = ["Task", "ExecContext", "PushPullExecutor", "QUERY_WORDS", "RESULT_WORDS"]
+__all__ = [
+    "Task",
+    "ExecContext",
+    "GroupContext",
+    "PushPullExecutor",
+    "QUERY_WORDS",
+    "RESULT_WORDS",
+]
 
 QUERY_WORDS = 2  # morton key + query id
 RESULT_WORDS = 2  # node address + flags
@@ -129,6 +136,41 @@ class ExecContext:
         self._results.append(value)
 
 
+class GroupContext:
+    """Aggregated charging interface for a *group kernel*.
+
+    A group kernel processes every task pushed to one meta-node in a
+    single vectorized pass (``kernel(meta, ts, group_ctx)``).  Instead of
+    charging per (task, node) it accumulates cycles and return words here;
+    the executor flushes the totals with one ``charge_pim``/``recv`` pair
+    per meta.  Because every scalar charge is integer-valued, the
+    aggregated float64 totals are byte-identical to the per-element sums.
+
+    Results and emitted tasks are tagged with the task's position in the
+    group (and emissions additionally with a sort key) so the executor
+    can restore the exact scalar ordering: tasks in group order, and
+    within one task the scalar DFS emission order — emits happen at
+    parent-visit time (parents in right-first pre-order), left child
+    before right.
+    """
+
+    __slots__ = ("cycles", "recv", "_results", "_emits", "_seq")
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.recv = 0.0
+        self._results: list[tuple[int, object]] = []
+        self._emits: list[tuple[int, int, int, Task]] = []
+        self._seq = 0
+
+    def result(self, pos: int, value) -> None:
+        self._results.append((pos, value))
+
+    def emit(self, pos: int, task: Task, sort_key: int = 0) -> None:
+        self._emits.append((pos, sort_key, self._seq, task))
+        self._seq += 1
+
+
 Handler = Callable[[Task, ExecContext], None]
 
 
@@ -159,6 +201,14 @@ class PushPullExecutor:
         to merge candidate sets and tighten pruning radii between rounds.
         """
         results: dict[int, list] = defaultdict(list)
+        # Group kernels (repro.core.vexec) process a whole meta's task
+        # group in one vectorized pass; pulled metas always take the
+        # scalar per-task path (host-side execution is not the hot loop).
+        group_kernel = (
+            getattr(handler, "group_kernel", None)
+            if self.config.exec_mode == "vectorized"
+            else None
+        )
         frontier = list(tasks)
         while frontier:
             by_meta: dict[MetaNode, list[Task]] = defaultdict(list)
@@ -179,6 +229,22 @@ class PushPullExecutor:
                         continue
                     self.pushed_tasks += len(ts)
                     self.sys.charge_pim(meta.module, PIM_TASK_DISPATCH_CYCLES)
+                    if group_kernel is not None:
+                        self.sys.send(
+                            meta.module, sum(t.send_words for t in ts)
+                        )
+                        g = GroupContext()
+                        group_kernel(meta, ts, g)
+                        self.sys.charge_pim(meta.module, g.cycles)
+                        self.sys.recv(
+                            meta.module, g.recv + RESULT_WORDS * len(ts)
+                        )
+                        g._results.sort(key=lambda r: r[0])
+                        for pos, value in g._results:
+                            results[ts[pos].qid].append(value)
+                        g._emits.sort(key=lambda e: (e[0], e[1], e[2]))
+                        next_frontier.extend(e[3] for e in g._emits)
+                        continue
                     for t in ts:
                         self.sys.send(meta.module, t.send_words)
                         ctx = ExecContext(self.tree, meta, False, t.qid)

@@ -173,14 +173,29 @@ def box_count_batch(tree, boxes) -> np.ndarray:
     """Exact number of stored points in each box."""
     boxes = _normalize_boxes(tree, boxes)
     sys = tree.system
+    vectorized = tree.config.exec_mode == "vectorized"
     with sys.phase("boxcount"):
         counts = [0] * len(boxes)
         tasks: list[Task] = []
-        for qid, box in enumerate(boxes):
-            _seed_l0(tree, box, qid, tasks, fetch=False, counts=counts, chunks=[])
+        if vectorized:
+            from .vexec import seed_l0_boxes
+
+            seed_l0_boxes(tree, boxes, tasks, fetch=False, counts=counts,
+                          chunks_list=[[] for _ in boxes])
+        else:
+            for qid, box in enumerate(boxes):
+                _seed_l0(tree, box, qid, tasks, fetch=False, counts=counts,
+                         chunks=[])
         if tasks:
             executor = PushPullExecutor(tree)
-            out = executor.run(tasks, _make_handler(tree, boxes, fetch=False))
+            handler = _make_handler(tree, boxes, fetch=False)
+            if vectorized:
+                from .vexec import make_range_group_kernel
+
+                handler.group_kernel = make_range_group_kernel(
+                    tree, boxes, fetch=False
+                )
+            out = executor.run(tasks, handler)
             tree.last_executor = executor
             for qid, items in out.items():
                 for kind, value in items:
@@ -194,17 +209,32 @@ def box_fetch_batch(tree, boxes) -> list[np.ndarray]:
     """All stored points in each box, one ``(m, D)`` array per box."""
     boxes = _normalize_boxes(tree, boxes)
     sys = tree.system
+    vectorized = tree.config.exec_mode == "vectorized"
     with sys.phase("boxfetch"):
         per_query_chunks: list[list[np.ndarray]] = [[] for _ in boxes]
         tasks: list[Task] = []
-        for qid, box in enumerate(boxes):
-            _seed_l0(
-                tree, box, qid, tasks, fetch=True, counts=[],
-                chunks=per_query_chunks[qid],
-            )
+        if vectorized:
+            from .vexec import seed_l0_boxes
+
+            seed_l0_boxes(tree, boxes, tasks, fetch=True,
+                          counts=[0] * len(boxes),
+                          chunks_list=per_query_chunks)
+        else:
+            for qid, box in enumerate(boxes):
+                _seed_l0(
+                    tree, box, qid, tasks, fetch=True, counts=[],
+                    chunks=per_query_chunks[qid],
+                )
         if tasks:
             executor = PushPullExecutor(tree)
-            out = executor.run(tasks, _make_handler(tree, boxes, fetch=True))
+            handler = _make_handler(tree, boxes, fetch=True)
+            if vectorized:
+                from .vexec import make_range_group_kernel
+
+                handler.group_kernel = make_range_group_kernel(
+                    tree, boxes, fetch=True
+                )
+            out = executor.run(tasks, handler)
             tree.last_executor = executor
             for qid, items in out.items():
                 for kind, value in items:

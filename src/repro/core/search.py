@@ -58,6 +58,11 @@ def route_through_l0(tree, results: list[SearchResult]) -> list[Task]:
     Returns the border tasks entering L1/L2.  Terminal outcomes (leaf or
     edge divergence inside L0) are written into ``results`` directly.
     """
+    if tree.config.exec_mode == "vectorized":
+        from .vexec import route_through_l0_vec
+
+        return route_through_l0_vec(tree, results)
+
     sys = tree.system
     kb = tree.key_bits
     tasks: list[Task] = []
@@ -154,7 +159,12 @@ def search_batch(tree, points: np.ndarray, *, phase: str = "search"
         tasks = route_through_l0(tree, results)
         if tasks:
             executor = PushPullExecutor(tree)
-            executor.run(tasks, make_search_handler(tree, results))
+            handler = make_search_handler(tree, results)
+            if tree.config.exec_mode == "vectorized":
+                from .vexec import make_search_group_kernel
+
+                handler.group_kernel = make_search_group_kernel(tree, results)
+            executor.run(tasks, handler)
             tree.last_executor = executor
         # The trace records land in host memory.
         sys.charge_cpu(len(results) * 2, span=np.log2(len(results) + 2))

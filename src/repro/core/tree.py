@@ -242,7 +242,14 @@ class PIMZdTree:
         chunking rule.  Data movement is charged as one round of traffic
         proportional to the rebuilt masters plus the L1 cache fan-out.
         """
-        stale = {m for m in self.metas if self.meta_is_stale(m)}
+        # Canonical (root-nid) order: set iteration follows object hashes,
+        # i.e. memory addresses, and the rebuild order is observable — both
+        # through the retired/done_regions guards below and through the
+        # charged rebuild traffic.
+        stale = sorted(
+            (m for m in self.metas if self.meta_is_stale(m)),
+            key=lambda m: m.root.nid,
+        )
         if not stale:
             return
         done_regions: set[int] = set()
@@ -291,7 +298,11 @@ class PIMZdTree:
     def _purge_empty_metas(self) -> None:
         """Drop meta-nodes that lost all members (e.g. their only node was
         promoted into L0); their children re-attach to the grandparent."""
-        for m in [m for m in self.metas if m.n_nodes <= 0]:
+        # Root-nid order: _discard_meta re-appends surviving children to
+        # their grandparent, so discard order shapes the meta tree.
+        for m in sorted(
+            (m for m in self.metas if m.n_nodes <= 0), key=lambda m: m.root.nid
+        ):
             self._discard_meta(m)
 
     def _node_detached(self, node: Node) -> bool:

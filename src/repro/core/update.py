@@ -34,6 +34,7 @@ import numpy as np
 from .chunking import MetaNode, chunk_region
 from .node import Layer, Node, node_words
 from .search import search_batch
+from .vexec import invalidate_exec_caches
 
 __all__ = ["insert_batch", "delete_batch"]
 
@@ -116,6 +117,7 @@ def insert_batch(tree, points: np.ndarray) -> None:
         _apply_layer_transitions(tree, synced)
 
         tree.rechunk_stale()
+    invalidate_exec_caches(tree)
     tree.refresh_residency()
 
 
@@ -527,19 +529,26 @@ def delete_batch(tree, points: np.ndarray) -> int:
         # rejected *before* any structural change.
         plans: list[tuple[Node, np.ndarray, int]] = []
         total_removed = 0
+        vectorized = tree.config.exec_mode == "vectorized"
+        if vectorized:
+            from .vexec import plan_leaf_deletions
         for leaf, qids in groups.items():
-            keep = np.ones(leaf.count, dtype=bool)
-            for q in qids:
-                removed_here = 0
-                p = points[q]
-                key = np.uint64(results[q].key)
-                j0 = int(np.searchsorted(leaf.keys, key))
-                j1 = int(np.searchsorted(leaf.keys, key, side="right"))
-                for j in range(j0, j1):
-                    if keep[j] and np.array_equal(leaf.pts[j], p):
-                        keep[j] = False
-                        removed_here += 1
-                removal_count[q] = removed_here
+            if vectorized:
+                keep = plan_leaf_deletions(leaf, qids, results, points,
+                                           removal_count)
+            else:
+                keep = np.ones(leaf.count, dtype=bool)
+                for q in qids:
+                    removed_here = 0
+                    p = points[q]
+                    key = np.uint64(results[q].key)
+                    j0 = int(np.searchsorted(leaf.keys, key))
+                    j1 = int(np.searchsorted(leaf.keys, key, side="right"))
+                    for j in range(j0, j1):
+                        if keep[j] and np.array_equal(leaf.pts[j], p):
+                            keep[j] = False
+                            removed_here += 1
+                    removal_count[q] = removed_here
             n_removed = int((~keep).sum())
             total_removed += n_removed
             plans.append((leaf, keep, n_removed))
@@ -581,6 +590,7 @@ def delete_batch(tree, points: np.ndarray) -> int:
 
         _apply_layer_transitions(tree, synced)
         tree.rechunk_stale()
+    invalidate_exec_caches(tree)
     tree.refresh_residency()
     if tree.root.count == 0:
         raise ValueError("delete emptied the tree; PIM-zd-tree requires >= 1 point")

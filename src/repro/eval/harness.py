@@ -89,6 +89,7 @@ class PIMZdTreeAdapter:
         llc_bytes: int | None = None,
         cost_model=None,
         tracer=None,
+        exec_mode: str | None = None,
     ) -> None:
         if llc_bytes is None:
             llc_bytes = scaled_llc_bytes(22 * 2**20, len(points))
@@ -101,6 +102,8 @@ class PIMZdTreeAdapter:
                 config = skew_resistant(n_modules)
             else:
                 raise ValueError(f"unknown variant {variant!r}")
+        if exec_mode is not None:
+            config = config.with_overrides(exec_mode=exec_mode)
         if cost_model is not None:
             cost_model = cost_model.scaled(n_modules)
         self.tree = PIMZdTree(points, config=config, system=self.system,
@@ -246,11 +249,13 @@ def make_adapter(kind: str, points: np.ndarray, **kw):
     if kind == "zd":
         nm = kw.pop("n_modules", 64)
         kw.pop("seed", None)
+        kw.pop("exec_mode", None)
         return ZdTreeAdapter(points, scale_to_modules=nm, **kw)
     if kind == "pkd":
         nm = kw.pop("n_modules", 64)
         kw.pop("seed", None)
         kw.pop("bounds", None)
+        kw.pop("exec_mode", None)
         return PkdTreeAdapter(points, scale_to_modules=nm, **kw)
     raise ValueError(f"unknown adapter kind {kind!r}")
 

@@ -151,6 +151,27 @@ class PIMSystem:
         for i in range(int(n_blocks)):
             self.touch_cpu_block((base_id, i))
 
+    def touch_cpu_blocks(self, block_ids) -> None:
+        """Sequential CPU accesses to many blocks, charged in one call.
+
+        Equivalent to calling :meth:`touch_cpu_block` on each id in order
+        (the LLC sees the identical access sequence, so hit/miss behaviour
+        and therefore ``dram_words`` are byte-identical); the stats update
+        is aggregated into a single per-phase increment.
+        """
+        touch = self.llc.touch
+        misses = 0
+        for b in block_ids:
+            if not touch(b):
+                misses += 1
+        if misses:
+            words = misses * _WORDS_PER_BLOCK
+            phase = self.current_phase
+            self.stats.total.dram_words += words
+            self.stats.phase(phase).dram_words += words
+            if self._trace is not None:
+                self._trace.on_dram(phase, words, streamed=False)
+
     def dram_stream(self, words: float) -> None:
         """Streaming (non-cached) CPU↔DRAM transfer of ``words`` words."""
         phase = self.current_phase
@@ -294,6 +315,39 @@ class PIMSystem:
         self._module_in_round(mid).add_send(words, phase)
         if self._trace is not None:
             self._trace.on_recv(phase, mid, words)
+
+    def charge_pim_bulk(self, cycles_by_mid: dict) -> None:
+        """Charge PIM cycles on many modules, one call per round.
+
+        ``cycles_by_mid`` maps module id → total cycles; each module's
+        round accumulator receives one aggregated increment, which is
+        byte-identical to charging the same total element by element
+        (integer-valued charges sum exactly in float64).
+        """
+        phase = self.current_phase
+        for mid, cycles in cycles_by_mid.items():
+            if cycles:
+                self._module_in_round(mid).charge(cycles, phase)
+                if self._trace is not None:
+                    self._trace.on_pim(phase, mid, cycles)
+
+    def send_bulk(self, words_by_mid: dict) -> None:
+        """CPU → module transfers to many modules in the current round."""
+        phase = self.current_phase
+        for mid, words in words_by_mid.items():
+            if words:
+                self._module_in_round(mid).add_recv(words, phase)
+                if self._trace is not None:
+                    self._trace.on_send(phase, mid, words)
+
+    def recv_bulk(self, words_by_mid: dict) -> None:
+        """Module → CPU transfers from many modules in the current round."""
+        phase = self.current_phase
+        for mid, words in words_by_mid.items():
+            if words:
+                self._module_in_round(mid).add_send(words, phase)
+                if self._trace is not None:
+                    self._trace.on_recv(phase, mid, words)
 
     def charge_comm_flat(self, words: float) -> None:
         """Charge CPU↔PIM words without binding them to a specific round.

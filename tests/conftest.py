@@ -39,14 +39,18 @@ def brute_knn(points: np.ndarray, q: np.ndarray, k: int, metric=L2):
     return np.sort(d)[: min(k, len(points))]
 
 
-def brute_box_count(points: np.ndarray, box: Box) -> int:
+def brute_range_query(points: np.ndarray, box: Box) -> np.ndarray:
+    """Exact range query: the stored points inside ``box`` (closed), as rows."""
     mask = ((points >= box.lo) & (points <= box.hi)).all(axis=1)
-    return int(mask.sum())
+    return points[mask]
+
+
+def brute_box_count(points: np.ndarray, box: Box) -> int:
+    return len(brute_range_query(points, box))
 
 
 def brute_box_points(points: np.ndarray, box: Box) -> np.ndarray:
-    mask = ((points >= box.lo) & (points <= box.hi)).all(axis=1)
-    return points[mask]
+    return brute_range_query(points, box)
 
 
 def sorted_rows(a: np.ndarray) -> np.ndarray:

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from conftest import assert_same_points, brute_range_query
 from repro.core import PIMZdTree, skew_resistant, throughput_optimized
+from repro.core.geometry import Box
 from repro.core.node import Layer
 from repro.pim import PIMSystem
 
@@ -149,3 +151,34 @@ class TestEmptyAndEdgeBatches:
         assert len(res) == 1
         # Clipped onto the box surface: either a leaf or a clean edge report.
         assert (res[0].leaf is not None) != (res[0].edge is not None)
+
+
+class TestRangeOracle:
+    """box_fetch must return the exact brute-force point set, per exec mode."""
+
+    @pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+    def test_box_fetch_matches_brute_range_query(self, rng, exec_mode):
+        pts = rng.random((3000, 3))
+        tree = make_tree(pts, exec_mode=exec_mode)
+        centers = pts[rng.integers(0, len(pts), size=16)]
+        for c, side in zip(centers, rng.random(16) * 0.3 + 0.02):
+            box = Box(c - side / 2, c + side / 2)
+            got = tree.box_fetch([box])[0]
+            assert_same_points(got, brute_range_query(pts, box))
+
+    @pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+    def test_box_fetch_oracle_after_updates(self, rng, exec_mode):
+        pts = rng.random((2000, 2))
+        tree = make_tree(pts, "throughput", exec_mode=exec_mode)
+        fresh = rng.random((300, 2))
+        tree.insert(fresh)
+        gone = pts[rng.integers(0, len(pts), size=250)]
+        tree.delete(gone)
+        live = np.vstack([pts, fresh])
+        # Rebuild the live multiset the way delete defines it (all exact
+        # duplicates of each query row are removed).
+        keep = ~(live[:, None, :] == gone[None, :, :]).all(axis=2).any(axis=1)
+        live = live[keep]
+        box = Box(np.full(2, 0.2), np.full(2, 0.7))
+        assert_same_points(tree.box_fetch([box])[0],
+                           brute_range_query(live, box))
