@@ -1,0 +1,144 @@
+"""Open-loop serving: throughput–latency curve with a saturation knee.
+
+Closed-loop benches (Fig. 5/7) measure throughput with pre-formed batches;
+this bench measures what a serving stack is judged on.  Offered load is
+swept as a fraction of the calibrated service capacity on a fixed seed:
+
+* below saturation, p99 latency sits near the single-batch service time;
+* past the knee the admission queue fills, p99 climbs to the
+  queue-depth-bounded delay (>= 10x the low-load p99) while goodput
+  plateaus at the service capacity and the overflow policy sheds the
+  excess explicitly;
+* at equal offered load, the adaptive batcher (online round-overhead
+  amortisation, Fig. 7) holds a far lower p99 than the fixed
+  request-at-a-time baseline, whose per-dispatch overheads saturate the
+  server earlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import make_adapter
+from repro.serve import (
+    AdaptiveBatchPolicy,
+    AdmissionQueue,
+    FixedBatchPolicy,
+    ServeLoop,
+    calibrate_capacity,
+    make_requests,
+)
+from repro.workloads import poisson_arrivals, uniform_points
+
+N = 8_000
+N_MODULES = 32
+SEED = 7
+K = 10
+REQUESTS = 1_200
+QUEUE_DEPTH = 512
+DEADLINE_S = 0.05
+LOADS = (0.1, 0.5, 0.8, 1.5, 3.0)
+LOW, KNEE = LOADS[0], LOADS[-1]
+EQUAL_LOAD = 0.8  # adaptive-vs-fixed comparison point
+
+
+@pytest.fixture(scope="module")
+def serve_data():
+    return uniform_points(N, 3, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def capacity(serve_data):
+    # Calibrate on a throwaway adapter so every serve run starts cold.
+    probe = make_adapter("pim", serve_data, n_modules=N_MODULES, seed=SEED)
+    return calibrate_capacity(probe, serve_data, k=K, seed=SEED)
+
+
+def _serve_run(data, capacity, load, policy):
+    adapter = make_adapter("pim", data, n_modules=N_MODULES, seed=SEED)
+    arrivals = poisson_arrivals(capacity * load, REQUESTS, seed=SEED + 1)
+    requests = make_requests(data, arrivals, mix={"knn": 1.0}, k=K,
+                             deadline_s=DEADLINE_S, seed=SEED + 2)
+    loop = ServeLoop(
+        adapter, AdmissionQueue(QUEUE_DEPTH, overflow="reject"), policy
+    )
+    return loop.run(requests).stats
+
+
+_CURVE: dict[float, object] = {}
+
+
+def test_throughput_latency_curve(benchmark, serve_data, capacity):
+    """Sweep offered load; the curve must show a visible saturation knee."""
+
+    def run():
+        for load in LOADS:
+            _CURVE[load] = _serve_run(
+                serve_data, capacity, load, AdaptiveBatchPolicy()
+            )
+        return _CURVE
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== open-loop serving — throughput-latency curve "
+          f"(knn-{K}, uniform n={N}, P={N_MODULES}, depth={QUEUE_DEPTH}) ===")
+    print(f"  capacity ≈ {capacity:,.0f} req/s (calibrated)")
+    print("  load   offered req/s   goodput req/s   p50 ms   p99 ms   "
+          "rejected  mean batch")
+    for load in LOADS:
+        s = _CURVE[load]
+        print(f"  {load:4.1f} {s.offered_rate:14,.0f} {s.goodput:15,.0f} "
+              f"{s.latency['p50'] * 1e3:8.3f} {s.latency['p99'] * 1e3:8.3f} "
+              f"{s.n_rejected:9d} {s.mean_batch:11.1f}")
+    benchmark.extra_info["curve"] = {
+        str(load): _CURVE[load].to_dict() for load in LOADS
+    }
+
+    low, knee = _CURVE[LOW], _CURVE[KNEE]
+    # The knee: p99 rises >= 10x between low load and saturation ...
+    assert knee.latency["p99"] >= 10.0 * low.latency["p99"], (
+        f"no saturation knee: p99 {low.latency['p99']:.6f}s @ {LOW}x -> "
+        f"{knee.latency['p99']:.6f}s @ {KNEE}x"
+    )
+    # ... while goodput plateaus at capacity: doubling offered load past
+    # saturation moves goodput by < 25%.
+    sat, oversat = _CURVE[1.5], _CURVE[3.0]
+    assert 0.75 <= oversat.goodput / sat.goodput <= 1.25, (
+        f"goodput did not plateau: {sat.goodput:.0f} @ 1.5x vs "
+        f"{oversat.goodput:.0f} @ 3.0x"
+    )
+    # Below saturation nothing is refused; past it backpressure is explicit.
+    assert low.n_rejected == 0 and low.n_shed == 0
+    assert oversat.n_rejected > 0, "overload must shed explicitly"
+    assert oversat.n_offered == (oversat.n_done + oversat.n_rejected
+                                 + oversat.n_shed), "requests went missing"
+
+
+def test_adaptive_beats_fixed_baseline(benchmark, serve_data, capacity):
+    """Equal offered load: adaptive batching wins the p99 comparison."""
+    out: dict[str, object] = {}
+
+    def run():
+        out["adaptive"] = _serve_run(
+            serve_data, capacity, EQUAL_LOAD, AdaptiveBatchPolicy()
+        )
+        out["fixed"] = _serve_run(
+            serve_data, capacity, EQUAL_LOAD, FixedBatchPolicy(1)
+        )
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ada, fix = out["adaptive"], out["fixed"]
+    print(f"\n=== adaptive vs fixed(B=1) at {EQUAL_LOAD}x capacity ===")
+    for name, s in (("adaptive", ada), ("fixed-1", fix)):
+        print(f"  {name:9s}: p99 = {s.latency['p99'] * 1e3:9.3f} ms, "
+              f"goodput = {s.goodput:10,.0f} req/s, "
+              f"mean batch = {s.mean_batch:.1f}")
+    benchmark.extra_info["p99_adaptive_s"] = ada.latency["p99"]
+    benchmark.extra_info["p99_fixed_s"] = fix.latency["p99"]
+    assert ada.latency["p99"] < fix.latency["p99"], (
+        "adaptive batcher must beat the fixed-batch baseline on p99 "
+        f"({ada.latency['p99']:.6f}s vs {fix.latency['p99']:.6f}s)"
+    )
+    assert ada.goodput >= fix.goodput

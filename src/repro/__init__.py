@@ -19,8 +19,12 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.core`` — the PIM-zd-tree and its techniques (§3–§6).
 * ``repro.pim`` — the PIM Model simulator + cost models (substrate).
 * ``repro.baselines`` — shared-memory zd-tree and Pkd-tree (§7.1).
-* ``repro.workloads`` — uniform / Varden / COSMOS-like / OSM-like data.
+* ``repro.workloads`` — uniform / Varden / COSMOS-like / OSM-like data,
+  plus open-loop arrival processes.
 * ``repro.eval`` — experiment harness, metrics and report tables (§7).
+* ``repro.serve`` — open-loop serving layer: admission queue, continuous
+  batching, virtual-clock scheduler, latency stats.
+* ``repro.obs`` — tracing/metrics for the simulator and serve runs.
 """
 
 from .baselines import CPUCostMeter, CPUCostModel, PkdTree, ZdTree

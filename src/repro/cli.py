@@ -7,6 +7,7 @@ Examples::
     python -m repro.cli table3 --batch 256
     python -m repro.cli all --out results/
     python -m repro.cli trace --ops insert,bc-10,10-nn --out trace.json
+    python -m repro.cli serve --arrival poisson --load 0.8 --out latency.json
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
 report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
@@ -74,6 +75,46 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="raw-event ring-buffer capacity")
     p_tr.add_argument("--no-events", action="store_true",
                       help="omit raw events from the JSON document")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="open-loop serving run: arrival process, admission queue, "
+             "continuous batching, latency stats",
+    )
+    _add_common(p_sv)
+    p_sv.add_argument("--dataset", default="uniform", choices=sorted(DATASETS),
+                      help="workload distribution")
+    p_sv.add_argument("--index", default="pim",
+                      choices=["pim", "pim-skew", "zd", "pkd"],
+                      help="index adapter to serve from")
+    p_sv.add_argument("--arrival", default="poisson",
+                      choices=["poisson", "bursty", "diurnal"],
+                      help="arrival process")
+    p_sv.add_argument("--requests", type=int, default=2000,
+                      help="number of offered requests")
+    p_sv.add_argument("--load", type=float, default=0.8,
+                      help="offered load as a fraction of calibrated capacity")
+    p_sv.add_argument("--rate", type=float, default=None,
+                      help="absolute arrival rate (req/s of simulated time; "
+                           "overrides --load)")
+    p_sv.add_argument("--mix", default="knn=0.7,bc=0.15,bf=0.1,insert=0.05",
+                      help="request mix, e.g. knn=0.8,insert=0.2")
+    p_sv.add_argument("--k", type=int, default=10, help="k for kNN requests")
+    p_sv.add_argument("--queue-depth", type=int, default=1024,
+                      help="admission-queue depth bound")
+    p_sv.add_argument("--overflow", default="reject",
+                      choices=["reject", "shed-oldest"],
+                      help="backpressure policy when the queue is full")
+    p_sv.add_argument("--deadline-ms", type=float, default=None,
+                      help="per-request relative deadline (simulated ms)")
+    p_sv.add_argument("--policy", default="adaptive",
+                      choices=["adaptive", "fixed"], help="batch-size policy")
+    p_sv.add_argument("--fixed-batch", type=int, default=64,
+                      help="batch size for --policy fixed")
+    p_sv.add_argument("--out", type=Path, default=None,
+                      help="path for the latency-stats JSON document")
+    p_sv.add_argument("--csv", type=Path, default=None,
+                      help="path for the flat metric,value CSV")
     return parser
 
 
@@ -172,6 +213,84 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: open-loop run → latency stats."""
+    import math
+
+    from .eval.experiments import _dataset
+    from .eval.harness import make_adapter
+    from .obs import write_latency
+    from .serve import (
+        AdaptiveBatchPolicy,
+        AdmissionQueue,
+        FixedBatchPolicy,
+        ServeLoop,
+        calibrate_capacity,
+        make_requests,
+    )
+    from .workloads import bursty_arrivals, diurnal_arrivals, poisson_arrivals
+
+    n = args.n or 20_000
+    n_modules = args.n_modules or 32
+    seed = args.seed if args.seed is not None else 7
+
+    try:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, w = part.strip().partition("=")
+            mix[kind] = float(w)
+    except ValueError:
+        print(f"error: malformed --mix {args.mix!r}")
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1")
+        return 2
+
+    data = _dataset(args.dataset, n, seed)
+
+    rate = args.rate
+    if rate is None:
+        # Express load relative to measured capacity at a well-amortised
+        # reference batch; calibrate on a throwaway adapter so the serving
+        # adapter starts cold.
+        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+        capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
+        rate = args.load * capacity
+        print(f"calibrated capacity ≈ {capacity:.0f} req/s; offering "
+              f"{args.load:.2f}x = {rate:.0f} req/s")
+
+    arrival_fn = {"poisson": poisson_arrivals, "bursty": bursty_arrivals,
+                  "diurnal": diurnal_arrivals}[args.arrival]
+    arrivals = arrival_fn(rate, args.requests, seed=seed + 1)
+    deadline_s = (args.deadline_ms * 1e-3 if args.deadline_ms is not None
+                  else math.inf)
+    try:
+        requests = make_requests(data, arrivals, mix=mix, k=args.k,
+                                 deadline_s=deadline_s, seed=seed + 2)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+
+    adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+    policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
+              else AdaptiveBatchPolicy())
+    loop = ServeLoop(adapter,
+                     AdmissionQueue(args.queue_depth, overflow=args.overflow),
+                     policy)
+    result = loop.run(requests)
+
+    print(f"=== serve — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
+          f"{args.arrival} arrivals, {args.policy} batching ===")
+    print(result.stats.table())
+    if args.out is not None or args.csv is not None:
+        write_latency(result.stats, json_path=args.out, csv_path=args.csv,
+                      batches=result.batches)
+        for path in (args.out, args.csv):
+            if path is not None:
+                print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -184,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "all":
         kwargs = _kwargs_from(args)

@@ -240,22 +240,33 @@ class PkdTreeAdapter(_BaselineAdapter):
         self.name = "pkd-tree"
 
 
+# Kwargs only meaningful for the PIM adapter.  The baselines ignore them so
+# one sweep dict can drive all four kinds through :func:`make_adapter`.
+_PIM_ONLY_KWARGS = ("seed", "exec_mode", "cost_model", "tracer", "llc_bytes",
+                    "config", "variant")
+
+
 def make_adapter(kind: str, points: np.ndarray, **kw):
-    """Factory: ``kind`` ∈ {"pim", "pim-skew", "zd", "pkd"}."""
+    """Factory: ``kind`` ∈ {"pim", "pim-skew", "zd", "pkd"}.
+
+    Accepts one shared kwargs dict for every kind: PIM-only knobs
+    (``cost_model=``, ``tracer=``, ``llc_bytes=``, ``config=``, ...) are
+    dropped for the CPU baselines instead of raising ``TypeError``.
+    """
     if kind == "pim":
         return PIMZdTreeAdapter(points, variant="throughput", **kw)
     if kind == "pim-skew":
         return PIMZdTreeAdapter(points, variant="skew", **kw)
     if kind == "zd":
         nm = kw.pop("n_modules", 64)
-        kw.pop("seed", None)
-        kw.pop("exec_mode", None)
+        for name in _PIM_ONLY_KWARGS:
+            kw.pop(name, None)
         return ZdTreeAdapter(points, scale_to_modules=nm, **kw)
     if kind == "pkd":
         nm = kw.pop("n_modules", 64)
-        kw.pop("seed", None)
         kw.pop("bounds", None)
-        kw.pop("exec_mode", None)
+        for name in _PIM_ONLY_KWARGS:
+            kw.pop(name, None)
         return PkdTreeAdapter(points, scale_to_modules=nm, **kw)
     raise ValueError(f"unknown adapter kind {kind!r}")
 
@@ -266,7 +277,14 @@ def make_adapter(kind: str, points: np.ndarray, **kw):
 def calibrate_box_side(points: np.ndarray, target: float, *, n_probe: int = 48,
                        seed: int = 0, tol: float = 0.15) -> float:
     """Binary-search a box side so boxes centred on data points cover
-    ``target`` points on average."""
+    ``target`` points on average.
+
+    Raises :class:`ValueError` on degenerate inputs (zero extent along
+    every axis — e.g. all-duplicate points — which would otherwise
+    silently calibrate a zero-sided box); warns if the search has not
+    converged to within ``tol`` after 40 bisections and returns the
+    midpoint of the final bracket.
+    """
     rng = np.random.default_rng(seed)
     points = np.asarray(points, dtype=np.float64)
     n, dims = points.shape
@@ -281,10 +299,13 @@ def calibrate_box_side(points: np.ndarray, target: float, *, n_probe: int = 48,
         return total / n_probe
 
     lo_s, hi_s = 0.0, float(np.ptp(points, axis=0).max()) * 2.0
-    # Expand hi until it overshoots the target.
-    side = (target / n) ** (1.0 / dims)
+    if hi_s <= 0.0:
+        raise ValueError(
+            "calibrate_box_side: degenerate point set (zero extent on every "
+            "axis); cannot calibrate a query-box side"
+        )
     for _ in range(40):
-        mid = (lo_s + hi_s) / 2.0 if hi_s < np.inf else side
+        mid = (lo_s + hi_s) / 2.0
         got = avg_count(mid)
         if abs(got - target) <= tol * target:
             return mid
@@ -292,6 +313,14 @@ def calibrate_box_side(points: np.ndarray, target: float, *, n_probe: int = 48,
             lo_s = mid
         else:
             hi_s = mid
+    import warnings
+
+    warnings.warn(
+        f"calibrate_box_side: no convergence to target={target} within 40 "
+        f"bisections (bracket [{lo_s:.3g}, {hi_s:.3g}]); returning midpoint",
+        RuntimeWarning,
+        stacklevel=2,
+    )
     return (lo_s + hi_s) / 2.0
 
 

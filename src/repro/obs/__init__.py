@@ -25,7 +25,14 @@ per charge and the counters are byte-identical to the untraced run.
 Driven from the CLI via ``python -m repro.cli trace`` (JSON/CSV export).
 """
 
-from .export import timeline_csv, timeline_json, write_trace
+from .export import (
+    latency_csv,
+    latency_json,
+    timeline_csv,
+    timeline_json,
+    write_latency,
+    write_trace,
+)
 from .timeline import ModuleTimeline, Timeline
 from .trace import EventKind, RoundRecord, TraceCollector, TraceEvent
 
@@ -36,7 +43,10 @@ __all__ = [
     "Timeline",
     "TraceCollector",
     "TraceEvent",
+    "latency_csv",
+    "latency_json",
     "timeline_csv",
     "timeline_json",
+    "write_latency",
     "write_trace",
 ]

@@ -15,7 +15,14 @@ from pathlib import Path
 
 from .trace import TraceCollector
 
-__all__ = ["timeline_csv", "timeline_json", "write_trace"]
+__all__ = [
+    "timeline_csv",
+    "timeline_json",
+    "write_trace",
+    "latency_json",
+    "latency_csv",
+    "write_latency",
+]
 
 _PHASE_COLUMNS = (
     "cpu_ops",
@@ -75,4 +82,50 @@ def write_trace(collector: TraceCollector, json_path=None, csv_path=None, *,
         Path(json_path).write_text(json.dumps(doc, indent=2))
     if csv_path is not None:
         Path(csv_path).write_text(timeline_csv(collector))
+    return doc
+
+
+# ======================================================================
+# serving-layer latency exports (repro.serve)
+# ======================================================================
+def latency_json(stats, *, batches=None) -> dict:
+    """JSON document for a serve run's :class:`~repro.serve.LatencyStats`.
+
+    ``batches`` (the run's :class:`~repro.serve.BatchRecord` list) is
+    embedded when given, so the batch-size/amortisation trajectory can be
+    analysed offline.
+    """
+    doc: dict = {"format": "repro.obs/serve-1", "stats": stats.to_dict()}
+    if batches is not None:
+        doc["batches"] = [b.to_dict() for b in batches]
+    return doc
+
+
+def _flatten(prefix: str, value, rows: list) -> None:
+    if isinstance(value, dict):
+        for k in sorted(value):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), value[k], rows)
+    else:
+        rows.append((prefix, value))
+
+
+def latency_csv(stats) -> str:
+    """Flat ``metric,value`` CSV of a serve run's latency stats."""
+    rows: list = []
+    _flatten("", stats.to_dict(), rows)
+    buf = io.StringIO()
+    buf.write("metric,value\n")
+    for key, value in rows:
+        buf.write(f"{key},{value!r}\n" if isinstance(value, float)
+                  else f"{key},{value}\n")
+    return buf.getvalue()
+
+
+def write_latency(stats, json_path=None, csv_path=None, *, batches=None) -> dict:
+    """Write the serve-latency JSON and/or CSV; returns the JSON document."""
+    doc = latency_json(stats, batches=batches)
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+    if csv_path is not None:
+        Path(csv_path).write_text(latency_csv(stats))
     return doc

@@ -45,6 +45,34 @@ __all__ = ["PIMSystem"]
 _WORDS_PER_BLOCK = 8  # 64-byte cache blocks
 
 
+def _canonical_key(key):
+    """Reduce a placement key to a NumPy-free canonical form.
+
+    Placement hashes ``repr(key)``, and NumPy ≥ 2.0 changed scalar reprs
+    (``repr(np.int64(5))`` became ``"np.int64(5)"``), so a NumPy scalar
+    leaking into a key would move the key to a different module than the
+    equal Python scalar — making layouts, comm counters and golden stats
+    depend on the NumPy version and on which caller's dtype reached the
+    key.  Integral and floating scalars are therefore collapsed onto their
+    exact Python equivalents, and containers are canonicalised recursively.
+    """
+    if type(key) in (int, str, bytes, bool):
+        return key
+    if isinstance(key, (tuple, list)):
+        return tuple(_canonical_key(k) for k in key)
+    if isinstance(key, np.bool_):
+        return bool(key)
+    if isinstance(key, (np.integer, int)):
+        return int(key)
+    if isinstance(key, (np.floating, float)):
+        return float(key)
+    if isinstance(key, np.str_):
+        return str(key)
+    if isinstance(key, np.bytes_):
+        return bytes(key)
+    return key
+
+
 class PIMSystem:
     """A host CPU plus ``n_modules`` PIM modules (the PIM Model, Fig. 2)."""
 
@@ -99,9 +127,14 @@ class PIMSystem:
     # placement
     # ------------------------------------------------------------------
     def place(self, key) -> int:
-        """Deterministic salted-hash placement of ``key`` onto a module."""
+        """Deterministic salted-hash placement of ``key`` onto a module.
+
+        Keys are canonicalised first (NumPy scalars → Python scalars,
+        containers recursively) so placement is independent of the caller's
+        dtype and of the installed NumPy version's repr conventions.
+        """
         digest = hashlib.blake2b(
-            repr(key).encode(), key=self._salt[:16], digest_size=8
+            repr(_canonical_key(key)).encode(), key=self._salt[:16], digest_size=8
         ).digest()
         return int.from_bytes(digest, "little") % self.n_modules
 

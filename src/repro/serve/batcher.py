@@ -1,0 +1,117 @@
+"""Continuous batch forming: fixed and adaptive batch-size policies.
+
+The BSP substrate pays fixed per-round costs — the mux switch, driver/API
+overhead, and per-(module, round) DMA setup (``repro.pim.cost_model``) —
+so per-operation cost falls with batch size along the Fig. 7 amortisation
+curve ``t(B) ≈ a + b·B``: ``a`` is the fixed per-dispatch overhead and
+``b`` the marginal per-request cost.  A continuous batcher must tune this
+knob online:
+
+* batches far below the amortisation knee waste capacity on overheads
+  (the server saturates earlier, queues explode);
+* unboundedly large batches serve the backlog in coarse grains, so every
+  request in a grain inherits the whole grain's service time
+  (head-of-line blocking inside the batch).
+
+:class:`AdaptiveBatchPolicy` estimates ``(a, b)`` per request group from
+observed ``(batch size, service time)`` pairs by least squares over a
+sliding window, then dispatches ``min(backlog, B*)`` where ``B*`` is the
+smallest batch keeping the fixed-overhead share of the batch's service
+time under ``overhead_target``.  Until two distinct batch sizes have been
+observed it probes a doubling schedule (1, 2, 4, ...) to expose the
+curve.  :class:`FixedBatchPolicy` is the closed-loop-style baseline: a
+constant cap, whatever the load.
+
+Both policies are work-conserving — they never hold the server idle to
+wait for more arrivals — and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["FixedBatchPolicy", "AdaptiveBatchPolicy"]
+
+
+class FixedBatchPolicy:
+    """Always dispatch up to a constant ``batch`` requests."""
+
+    name = "fixed"
+
+    def __init__(self, batch: int) -> None:
+        if batch < 1:
+            raise ValueError("fixed batch size must be >= 1")
+        self.batch = int(batch)
+
+    def batch_size(self, group: tuple, backlog: int) -> int:
+        return max(1, min(backlog, self.batch))
+
+    def observe(self, group: tuple, size: int, service_s: float) -> None:
+        pass
+
+
+class AdaptiveBatchPolicy:
+    """Batch size from the measured round-overhead amortisation curve."""
+
+    name = "adaptive"
+
+    def __init__(self, *, overhead_target: float = 0.1, min_batch: int = 1,
+                 max_batch: int = 4096, window: int = 32) -> None:
+        if not 0.0 < overhead_target < 1.0:
+            raise ValueError("overhead_target must be in (0, 1)")
+        if not 1 <= min_batch <= max_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        self.overhead_target = float(overhead_target)
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.window = int(window)
+        self._obs: dict[tuple, list[tuple[int, float]]] = {}
+        self._probe: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    def batch_size(self, group: tuple, backlog: int) -> int:
+        backlog = max(1, backlog)
+        fit = self._fit(group)
+        if fit is None:
+            # Bootstrap: doubling probes expose the amortisation curve with
+            # distinct batch sizes while staying work-conserving.
+            probe = self._probe.get(group, self.min_batch)
+            return min(backlog, probe, self.max_batch)
+        a, b = fit
+        if a <= 0.0:
+            # No measurable fixed overhead: batching buys nothing, serve in
+            # the finest grains the backlog allows.
+            return min(backlog, max(1, self.min_batch))
+        if b <= 0.0:
+            # No measurable marginal cost: amortise as hard as possible.
+            return min(backlog, self.max_batch)
+        f = self.overhead_target
+        b_star = math.ceil(a * (1.0 - f) / (b * f))
+        b_star = max(b_star, self.min_batch)
+        return min(backlog, b_star, self.max_batch)
+
+    def observe(self, group: tuple, size: int, service_s: float) -> None:
+        obs = self._obs.setdefault(group, [])
+        obs.append((int(size), float(service_s)))
+        del obs[: -self.window]
+        self._probe[group] = min(max(2 * int(size), self.min_batch),
+                                 self.max_batch)
+
+    # ------------------------------------------------------------------
+    def _fit(self, group: tuple) -> tuple[float, float] | None:
+        """Least-squares ``t(B) = a + b·B`` over the window; ``None`` until
+        two distinct batch sizes have been observed."""
+        obs = self._obs.get(group)
+        if not obs or len({sz for sz, _ in obs}) < 2:
+            return None
+        n = len(obs)
+        sx = sum(sz for sz, _ in obs)
+        sy = sum(t for _, t in obs)
+        sxx = sum(sz * sz for sz, _ in obs)
+        sxy = sum(sz * t for sz, t in obs)
+        denom = n * sxx - sx * sx
+        if denom <= 0:
+            return None
+        b = (n * sxy - sx * sy) / denom
+        a = (sy - b * sx) / n
+        return a, b

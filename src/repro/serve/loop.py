@@ -1,0 +1,143 @@
+"""Event-loop scheduler: a virtual clock over the measured adapters.
+
+The loop is *open-loop*: arrival times are fixed in advance by the
+arrival process and do not react to server progress.  The server is the
+BSP machine behind one harness adapter, which executes one batch at a
+time (the simulator's rounds are globally synchronised), so the loop is a
+single-server queueing system:
+
+1. admit every arrival with ``arrival_s <= now`` into the admission
+   queue (the queue applies its overflow policy — reject or shed);
+2. if the queue is empty, advance the clock to the next arrival;
+3. otherwise form a batch — the batching group of the *oldest* queued
+   request (FIFO across groups), sized by the batch policy — dispatch it
+   through ``adapter.measure``, and advance the virtual clock by the
+   measured :class:`~repro.pim.SimTime` total;
+4. stamp every request in the batch with dispatch/complete times; admit
+   the arrivals that landed during the service interval at their own
+   arrival instants.
+
+Every timestamp is simulated seconds; no wall clock is read, so a run is
+a pure function of (adapter construction, request sequence, queue
+configuration, batch policy) and two identical runs produce
+byte-identical :class:`~repro.serve.stats.LatencyStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .queue import AdmissionQueue
+from .request import DONE, Request
+from .stats import LatencyStats
+
+__all__ = ["BatchRecord", "ServeResult", "ServeLoop"]
+
+
+@dataclass
+class BatchRecord:
+    """One dispatched batch (for the batch-size/amortisation analysis)."""
+
+    bid: int
+    kind: str
+    k: int
+    size: int
+    dispatch_s: float
+    service_s: float
+    elements: int
+
+    def to_dict(self) -> dict:
+        return {
+            "bid": self.bid, "kind": self.kind, "k": self.k,
+            "size": self.size, "dispatch_s": self.dispatch_s,
+            "service_s": self.service_s, "elements": self.elements,
+        }
+
+
+@dataclass
+class ServeResult:
+    """A finished run: stamped requests, batch log, aggregate stats."""
+
+    requests: list[Request]
+    batches: list[BatchRecord]
+    stats: LatencyStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = LatencyStats.compute(self.requests, self.batches)
+
+
+class ServeLoop:
+    """Single-server continuous-batching scheduler on a virtual clock."""
+
+    def __init__(self, adapter, queue: AdmissionQueue, policy) -> None:
+        self.adapter = adapter
+        self.queue = queue
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ServeResult:
+        """Serve ``requests`` (any order; sorted by arrival internally)."""
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
+        n = len(pending)
+        i = 0
+        now = 0.0
+        batches: list[BatchRecord] = []
+        while True:
+            if self.queue.is_empty:
+                if i >= n:
+                    break
+                # Idle server: jump to the next arrival.
+                now = max(now, pending[i].arrival_s)
+                while i < n and pending[i].arrival_s <= now:
+                    self.queue.offer(pending[i], pending[i].arrival_s)
+                    i += 1
+                continue
+            group = self.queue.head_group()
+            size = self.policy.batch_size(group, self.queue.backlog(group))
+            batch = self.queue.take(group, size)
+            service_s, elements = self._execute(batch)
+            end = now + service_s
+            for r in batch:
+                r.dispatch_s = now
+                r.complete_s = end
+                r.status = DONE
+                r.batch_id = len(batches)
+            self.policy.observe(group, len(batch), service_s)
+            batches.append(
+                BatchRecord(
+                    bid=len(batches), kind=batch[0].kind, k=batch[0].k,
+                    size=len(batch), dispatch_s=now, service_s=service_s,
+                    elements=elements,
+                )
+            )
+            # Arrivals that landed while the batch was in service are
+            # admitted at their own instants (queue-state order matters for
+            # the overflow policy).
+            while i < n and pending[i].arrival_s <= end:
+                self.queue.offer(pending[i], pending[i].arrival_s)
+                i += 1
+            now = end
+        return ServeResult(requests=pending, batches=batches)
+
+    # ------------------------------------------------------------------
+    def _execute(self, batch: list[Request]) -> tuple[float, int]:
+        """Dispatch one same-group batch; returns (service seconds, elements)."""
+        kind = batch[0].kind
+        if kind == "insert":
+            pts = np.stack([r.payload for r in batch])
+            m = self.adapter.measure(lambda: self.adapter.insert(pts))
+        elif kind == "knn":
+            q = np.stack([r.payload for r in batch])
+            k = batch[0].k
+            m = self.adapter.measure(lambda: self.adapter.knn(q, k))
+        elif kind == "bc":
+            boxes = [r.payload for r in batch]
+            m = self.adapter.measure(lambda: self.adapter.box_count(boxes))
+        elif kind == "bf":
+            boxes = [r.payload for r in batch]
+            m = self.adapter.measure(lambda: self.adapter.box_fetch(boxes))
+        else:
+            raise ValueError(f"unknown request kind {kind!r}")
+        return m.sim_time_s, m.elements

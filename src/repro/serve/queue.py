@@ -1,0 +1,90 @@
+"""Bounded admission queue with explicit backpressure.
+
+The queue sits between the arrival process and the batch former.  Its
+depth bounds both memory and worst-case queueing delay; when full, one of
+two *explicit* overflow policies applies — there is no code path that
+discards a request without marking it:
+
+* ``"reject"`` — refuse the new arrival (load shedding at the door; the
+  client sees an immediate error and can retry elsewhere);
+* ``"shed-oldest"`` — evict the oldest queued request to admit the new
+  one (freshness-first: under overload the head of the queue is the work
+  most likely to be past its deadline anyway).
+
+Rejected and shed requests keep their stamps and terminal status and are
+reported in :class:`~repro.serve.stats.LatencyStats`.
+"""
+
+from __future__ import annotations
+
+from .request import QUEUED, REJECTED, SHED, Request
+
+__all__ = ["AdmissionQueue", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("reject", "shed-oldest")
+
+
+class AdmissionQueue:
+    """FIFO admission queue with bounded depth and explicit overflow."""
+
+    def __init__(self, depth: int, *, overflow: str = "reject") -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        self.depth = int(depth)
+        self.overflow = overflow
+        self._q: list[Request] = []
+        self.rejected: list[Request] = []
+        self.shed: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._q
+
+    def offer(self, req: Request, now: float) -> bool:
+        """Admit ``req`` at time ``now``; apply the overflow policy if full.
+
+        Returns ``True`` iff the request was admitted.  Either way the
+        request (and any evicted one) leaves with a recorded status.
+        """
+        req.enqueue_s = now
+        if len(self._q) >= self.depth:
+            if self.overflow == "reject":
+                req.status = REJECTED
+                self.rejected.append(req)
+                return False
+            victim = self._q.pop(0)
+            victim.status = SHED
+            self.shed.append(victim)
+        req.status = QUEUED
+        self._q.append(req)
+        return True
+
+    def head_group(self) -> tuple:
+        """Batching group of the oldest queued request (FIFO fairness)."""
+        return self._q[0].group
+
+    def backlog(self, group: tuple) -> int:
+        """Number of queued requests in ``group``."""
+        return sum(1 for r in self._q if r.group == group)
+
+    def take(self, group: tuple, limit: int) -> list[Request]:
+        """Remove and return up to ``limit`` oldest requests of ``group``."""
+        if limit < 1:
+            raise ValueError("batch limit must be >= 1")
+        taken: list[Request] = []
+        rest: list[Request] = []
+        for r in self._q:
+            if r.group == group and len(taken) < limit:
+                taken.append(r)
+            else:
+                rest.append(r)
+        self._q = rest
+        return taken

@@ -1,0 +1,139 @@
+"""Request model and workload construction for the serving layer.
+
+A :class:`Request` is one user-level operation — a single kNN query, point
+insert, BoxCount or BoxFetch — stamped with its arrival time and an
+absolute deadline.  The serving loop fills in the queueing lifecycle
+(enqueue / dispatch / complete) and a terminal :attr:`Request.status`;
+every offered request ends in exactly one terminal state, so nothing is
+ever dropped silently.
+
+:func:`make_requests` turns an arrival-time array (see
+``repro.workloads.arrivals``) plus an operation mix into a concrete
+request sequence against a dataset, drawing all payloads from one seeded
+generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import Box
+
+__all__ = ["Request", "KINDS", "make_requests"]
+
+KINDS = ("insert", "knn", "bc", "bf")
+
+# Lifecycle states.  PENDING → QUEUED → DONE for the happy path; REJECTED
+# (arrival refused, queue full) and SHED (evicted from a full queue to
+# admit newer work) are the backpressure outcomes.
+PENDING, QUEUED, DONE, REJECTED, SHED = "pending", "queued", "done", "rejected", "shed"
+
+
+@dataclass
+class Request:
+    """One open-loop request and its measured lifecycle."""
+
+    rid: int
+    kind: str                  # "insert" | "knn" | "bc" | "bf"
+    payload: object            # point row / query row / Box
+    arrival_s: float
+    deadline_s: float = math.inf   # absolute deadline (simulated clock)
+    k: int = 0                 # kNN only
+    # Filled in by the serving loop.
+    enqueue_s: float = math.nan
+    dispatch_s: float = math.nan
+    complete_s: float = math.nan
+    status: str = PENDING
+    batch_id: int = -1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def group(self) -> tuple:
+        """Batching group: requests in one group may share a batch."""
+        return (self.kind, self.k)
+
+    @property
+    def latency_s(self) -> float:
+        return self.complete_s - self.arrival_s
+
+    @property
+    def queue_s(self) -> float:
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.complete_s - self.dispatch_s
+
+    @property
+    def on_time(self) -> bool:
+        return self.status == DONE and self.complete_s <= self.deadline_s
+
+
+def make_requests(
+    data: np.ndarray,
+    arrivals: np.ndarray,
+    *,
+    mix: dict[str, float] | None = None,
+    k: int = 10,
+    box_side: float = 0.05,
+    deadline_s: float = math.inf,
+    seed: int = 0,
+    fresh_points=None,
+) -> list[Request]:
+    """Build one request per arrival time against ``data``.
+
+    ``mix`` maps kind → weight (default: query-heavy, ``{"knn": 0.7,
+    "bc": 0.15, "bf": 0.1, "insert": 0.05}``).  kNN queries are data
+    samples with small jitter; boxes are cubes of side ``box_side``
+    centred on data samples; inserts come from ``fresh_points(rng)``
+    (default: uniform points over the data's bounding box).  ``deadline_s``
+    is a per-request *relative* deadline added to the arrival time.
+    """
+    if mix is None:
+        mix = {"knn": 0.7, "bc": 0.15, "bf": 0.1, "insert": 0.05}
+    for kind in mix:
+        if kind not in KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; choose from {KINDS}")
+    rng = np.random.default_rng(seed)
+    data = np.asarray(data, dtype=np.float64)
+    n, dims = data.shape
+    kinds = sorted(mix)
+    weights = np.array([mix[kname] for kname in kinds], dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    weights = weights / weights.sum()
+    lo, hi = data.min(axis=0), data.max(axis=0)
+
+    choice = rng.choice(len(kinds), size=len(arrivals), p=weights)
+    out: list[Request] = []
+    for rid, t in enumerate(np.asarray(arrivals, dtype=np.float64)):
+        kind = kinds[choice[rid]]
+        if kind == "insert":
+            if fresh_points is not None:
+                payload = np.asarray(fresh_points(rng), dtype=np.float64)
+            else:
+                payload = lo + rng.random(dims) * (hi - lo)
+            kk = 0
+        elif kind == "knn":
+            payload = data[int(rng.integers(0, n))] + rng.normal(
+                scale=1e-4, size=dims
+            )
+            kk = k
+        else:  # bc / bf
+            c = data[int(rng.integers(0, n))]
+            payload = Box(c - box_side / 2.0, c + box_side / 2.0)
+            kk = 0
+        out.append(
+            Request(
+                rid=rid,
+                kind=kind,
+                payload=payload,
+                arrival_s=float(t),
+                deadline_s=float(t) + deadline_s,
+                k=kk,
+            )
+        )
+    return out

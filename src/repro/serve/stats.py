@@ -1,0 +1,151 @@
+"""Latency accounting for open-loop serve runs.
+
+:class:`LatencyStats` condenses a finished run — the full request list
+with lifecycle stamps plus the dispatched batch records — into the
+serving metrics that closed-loop throughput cannot express:
+
+* tail latency (p50/p90/p99/p999, mean, max) of total latency, split into
+  time-in-queue and time-in-service;
+* goodput: completed-on-time requests per second of makespan, versus raw
+  throughput;
+* backpressure outcomes: rejected / shed counts (explicit, never silent);
+* batching behaviour: dispatched batch count and mean batch size.
+
+Everything is computed from simulated-clock stamps with the repo's
+nearest-rank :func:`repro.eval.metrics.percentile`, so two identical runs
+produce byte-identical stats (``to_json`` is canonical: sorted keys,
+fixed separators).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..eval.metrics import percentile
+from .request import DONE, REJECTED, SHED
+
+__all__ = ["LatencyStats", "latency_summary"]
+
+_QUANTILES = (("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("p999", 99.9))
+
+
+def latency_summary(values) -> dict[str, float]:
+    """Nearest-rank percentile summary of ``values`` (seconds)."""
+    vals = [float(v) for v in values]
+    out = {name: percentile(vals, q) for name, q in _QUANTILES}
+    out["mean"] = sum(vals) / len(vals) if vals else float("nan")
+    out["max"] = max(vals) if vals else float("nan")
+    return out
+
+
+@dataclass
+class LatencyStats:
+    """Aggregate serving metrics for one open-loop run."""
+
+    # Population.
+    n_offered: int
+    n_done: int
+    n_rejected: int
+    n_shed: int
+    n_late: int                     # completed after their deadline
+    # Clock.
+    horizon_s: float                # last arrival time
+    makespan_s: float               # last completion (or arrival) time
+    # Rates (requests per simulated second).
+    offered_rate: float
+    throughput: float               # completed / makespan
+    goodput: float                  # completed on time / makespan
+    # Seconds, nearest-rank percentiles over completed requests.
+    latency: dict[str, float]
+    queue: dict[str, float]
+    service: dict[str, float]
+    # Batching.
+    n_batches: int
+    mean_batch: float
+    # Completed-request count per request kind.
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(cls, requests, batches) -> "LatencyStats":
+        done = [r for r in requests if r.status == DONE]
+        rejected = [r for r in requests if r.status == REJECTED]
+        shed = [r for r in requests if r.status == SHED]
+        late = [r for r in done if not r.on_time]
+        horizon = max((r.arrival_s for r in requests), default=0.0)
+        makespan = max(
+            [horizon] + [r.complete_s for r in done]
+        ) if requests else 0.0
+        by_kind: dict[str, int] = {}
+        for r in done:
+            by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
+        n_batches = len(batches)
+        total_batched = sum(b.size for b in batches)
+        return cls(
+            n_offered=len(requests),
+            n_done=len(done),
+            n_rejected=len(rejected),
+            n_shed=len(shed),
+            n_late=len(late),
+            horizon_s=horizon,
+            makespan_s=makespan,
+            offered_rate=len(requests) / horizon if horizon > 0 else 0.0,
+            throughput=len(done) / makespan if makespan > 0 else 0.0,
+            goodput=(len(done) - len(late)) / makespan if makespan > 0 else 0.0,
+            latency=latency_summary(r.latency_s for r in done),
+            queue=latency_summary(r.queue_s for r in done),
+            service=latency_summary(r.service_s for r in done),
+            n_batches=n_batches,
+            mean_batch=total_batched / n_batches if n_batches else 0.0,
+            by_kind=dict(sorted(by_kind.items())),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "n_offered": self.n_offered,
+            "n_done": self.n_done,
+            "n_rejected": self.n_rejected,
+            "n_shed": self.n_shed,
+            "n_late": self.n_late,
+            "horizon_s": self.horizon_s,
+            "makespan_s": self.makespan_s,
+            "offered_rate": self.offered_rate,
+            "throughput": self.throughput,
+            "goodput": self.goodput,
+            "latency_s": dict(self.latency),
+            "queue_s": dict(self.queue),
+            "service_s": dict(self.service),
+            "n_batches": self.n_batches,
+            "mean_batch": self.mean_batch,
+            "by_kind": dict(self.by_kind),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, fixed separators): byte-identical
+        for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"), allow_nan=True)
+
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Human-readable summary for the CLI."""
+        ms = 1e3
+        lines = [
+            f"offered {self.n_offered} ({self.offered_rate:.1f} req/s) | "
+            f"done {self.n_done} | rejected {self.n_rejected} | "
+            f"shed {self.n_shed} | late {self.n_late}",
+            f"throughput {self.throughput:.1f} req/s | "
+            f"goodput {self.goodput:.1f} req/s | "
+            f"batches {self.n_batches} (mean size {self.mean_batch:.1f})",
+            "            p50        p90        p99        p999       max",
+        ]
+        for label, s in (("latency", self.latency), ("queue", self.queue),
+                         ("service", self.service)):
+            lines.append(
+                f"{label:8s} {s['p50'] * ms:9.3f}ms {s['p90'] * ms:9.3f}ms "
+                f"{s['p99'] * ms:9.3f}ms {s['p999'] * ms:9.3f}ms "
+                f"{s['max'] * ms:9.3f}ms"
+            )
+        return "\n".join(lines)

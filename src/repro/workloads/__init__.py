@@ -1,5 +1,6 @@
-"""Workload generators and skew statistics for the §7 experiments."""
+"""Workload generators, arrival processes and skew statistics (§7 + serving)."""
 
+from .arrivals import bursty_arrivals, diurnal_arrivals, poisson_arrivals
 from .generators import (
     cosmos_like_points,
     osm_like_points,
@@ -11,10 +12,13 @@ from .skew import bin_points, gini_coefficient, max_alpha, zipf_exponent_fit
 
 __all__ = [
     "bin_points",
+    "bursty_arrivals",
     "cosmos_like_points",
+    "diurnal_arrivals",
     "gini_coefficient",
     "max_alpha",
     "osm_like_points",
+    "poisson_arrivals",
     "uniform_points",
     "varden_points",
     "zipf_exponent_fit",

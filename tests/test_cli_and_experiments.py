@@ -131,3 +131,33 @@ class TestCLI:
     def test_requires_command(self):
         out = self._run()
         assert out.returncode != 0
+
+    def test_serve_subcommand(self, tmp_path):
+        out = self._run(
+            "serve", "--n", "1500", "--n-modules", "8", "--requests", "120",
+            "--load", "1.2", "--queue-depth", "64", "--deadline-ms", "50",
+            "--out", str(tmp_path / "lat.json"), "--csv",
+            str(tmp_path / "lat.csv"),
+        )
+        assert out.returncode == 0, out.stderr
+        assert "calibrated capacity" in out.stdout
+        assert "p99" in out.stdout and "goodput" in out.stdout
+        doc = json.loads((tmp_path / "lat.json").read_text())
+        assert doc["format"] == "repro.obs/serve-1"
+        assert doc["stats"]["n_offered"] == 120
+        assert (tmp_path / "lat.csv").read_text().startswith("metric,value")
+
+    def test_serve_fixed_policy_and_rate(self):
+        out = self._run(
+            "serve", "--n", "1500", "--n-modules", "8", "--requests", "60",
+            "--rate", "20000", "--policy", "fixed", "--fixed-batch", "4",
+            "--mix", "knn=1.0",
+        )
+        assert out.returncode == 0, out.stderr
+        assert "fixed batching" in out.stdout
+
+    def test_serve_rejects_bad_mix(self):
+        out = self._run("serve", "--n", "1500", "--requests", "10",
+                        "--rate", "1000", "--mix", "knn=x")
+        assert out.returncode == 2
+        assert "malformed" in out.stdout

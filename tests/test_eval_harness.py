@@ -63,6 +63,20 @@ class TestBoxCalibration:
         for b in boxes:
             np.testing.assert_allclose(b.hi - b.lo, 0.1)
 
+    def test_degenerate_points_raise(self):
+        # All-duplicate points have zero extent on every axis; before the
+        # guard this silently calibrated a zero-sided box.
+        dup = np.ones((200, 3))
+        with pytest.raises(ValueError, match="degenerate"):
+            calibrate_box_side(dup, 10)
+
+    def test_nonconvergence_warns(self, data):
+        # avg coverage can never drop below 1 (each box is centred on a
+        # data point), so a target far under 1 is unreachable within tol
+        # and must warn instead of silently returning the midpoint.
+        with pytest.warns(RuntimeWarning, match="no convergence"):
+            calibrate_box_side(data, 0.2, seed=3)
+
 
 class TestAdapters:
     @pytest.mark.parametrize("kind", ["pim", "pim-skew", "zd", "pkd"])
@@ -77,6 +91,39 @@ class TestAdapters:
     def test_unknown_kind(self, data):
         with pytest.raises(ValueError):
             make_adapter("btree", data)
+
+    def test_one_shared_kwargs_dict_drives_all_kinds(self, data):
+        # One sweep dict — including PIM-only knobs — must construct every
+        # kind without TypeError (baselines drop what they don't take).
+        from repro.obs import TraceCollector
+        from repro.pim.cost_model import upmem_scaled
+
+        shared = dict(
+            n_modules=8,
+            seed=3,
+            exec_mode="vectorized",
+            llc_bytes=1 << 20,
+            cost_model=upmem_scaled(2048),
+            tracer=TraceCollector(capacity=1024),
+        )
+        names = set()
+        for kind in ("pim", "pim-skew", "zd", "pkd"):
+            a = make_adapter(kind, data, **dict(shared))
+            names.add(a.name)
+            m = a.measure(lambda: a.knn(data[:8], 3))
+            assert m.sim_time_s > 0
+        assert names == {"pim-zd-tree", "zd-tree", "pkd-tree"}
+
+    def test_shared_kwargs_reach_the_pim_adapter(self, data):
+        from repro.obs import TraceCollector
+
+        tracer = TraceCollector(capacity=1024)
+        a = make_adapter("pim", data, n_modules=8, tracer=tracer,
+                         llc_bytes=1 << 20)
+        assert a.system.tracer is tracer
+        b = make_adapter("zd", data, n_modules=8, tracer=tracer,
+                         llc_bytes=1 << 20)
+        assert not hasattr(b, "system")
 
     def test_pim_adapter_breakdown_components(self, data):
         a = make_adapter("pim", data, n_modules=8)

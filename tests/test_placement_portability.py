@@ -1,0 +1,111 @@
+"""Placement must not depend on the caller's scalar dtype or NumPy version.
+
+``PIMSystem.place`` hashes ``repr(key)``.  NumPy 2.0 changed scalar reprs
+(``repr(np.int64(5))`` is now ``"np.int64(5)"``, previously ``"5"``), so
+before canonicalisation a NumPy scalar leaking into a placement key moved
+data to a different module than the equal Python scalar — making layout,
+load balance, comm counters and golden stats depend on the installed
+NumPy version and on which caller's dtype reached the key.
+
+These tests pin the fix: for every key shape used in the tree
+(``("meta", nid)`` at ``core/update.py`` / ``core/chunking.py`` and
+``("l0q", salt, qid)`` at ``core/search.py`` / ``core/vexec.py``),
+Python and NumPy scalars of equal value must place identically, on both
+NumPy 1.x and 2.x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pim import PIMSystem
+
+
+@pytest.fixture
+def sys64():
+    return PIMSystem(64, seed=9)
+
+
+# ----------------------------------------------------------------------
+# scalar equivalence
+# ----------------------------------------------------------------------
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("np_type", [
+        np.int8, np.int16, np.int32, np.int64,
+        np.uint8, np.uint16, np.uint32, np.uint64, np.intp,
+    ])
+    def test_integer_scalars(self, sys64, np_type):
+        for v in (0, 1, 5, 100):
+            assert sys64.place(np_type(v)) == sys64.place(v)
+
+    @pytest.mark.parametrize("np_type", [np.float32, np.float64])
+    def test_float_scalars(self, sys64, np_type):
+        # Values exactly representable in float32 so the cast is lossless.
+        for v in (0.0, 0.5, 2.25, -8.0):
+            assert sys64.place(np_type(v)) == sys64.place(v)
+
+    def test_bool_scalars(self, sys64):
+        assert sys64.place(np.bool_(True)) == sys64.place(True)
+        assert sys64.place(np.bool_(False)) == sys64.place(False)
+
+    def test_str_and_bytes_scalars(self, sys64):
+        assert sys64.place(np.str_("meta")) == sys64.place("meta")
+        assert sys64.place(np.bytes_(b"meta")) == sys64.place(b"meta")
+
+    def test_0d_array_ints_match(self, sys64):
+        # Items pulled out of arrays are NumPy scalars — the exact leak path.
+        arr = np.arange(10, dtype=np.int64)
+        for i in range(10):
+            assert sys64.place(arr[i]) == sys64.place(i)
+
+
+# ----------------------------------------------------------------------
+# the tree's key shapes (update.py:_assign_mixed, search.py:_descend_l0)
+# ----------------------------------------------------------------------
+class TestTreeKeyShapes:
+    def test_meta_keys(self, sys64):
+        """("meta", nid) — the MetaNode placement key of core/update.py."""
+        for nid in (0, 7, 123, 99_991):
+            want = sys64.place(("meta", nid))
+            assert sys64.place(("meta", np.int64(nid))) == want
+            assert sys64.place(("meta", np.int32(nid))) == want
+            assert sys64.place(("meta", np.uint64(nid))) == want
+
+    def test_l0_route_keys(self, sys64):
+        """("l0q", salt, qid) — the L0 query-routing key of core/search.py."""
+        for salt, qid in ((0, 0), (3, 17), (12345, 512)):
+            want = sys64.place(("l0q", salt, qid))
+            assert sys64.place(("l0q", np.int64(salt), np.int64(qid))) == want
+            assert sys64.place(("l0q", salt, np.uint32(qid))) == want
+
+    def test_nested_containers(self, sys64):
+        key = ("a", (1, 2.5), 3)
+        npkey = ("a", (np.int16(1), np.float64(2.5)), np.int64(3))
+        assert sys64.place(npkey) == sys64.place(key)
+        # Lists canonicalise to tuples, matching either spelling.
+        assert sys64.place(["a", [1, 2.5], 3]) == sys64.place(key)
+
+
+# ----------------------------------------------------------------------
+# canonicalisation must not merge genuinely distinct keys
+# ----------------------------------------------------------------------
+class TestNoCollapse:
+    def test_distinct_keys_stay_spread(self, sys64):
+        mids = {sys64.place(("meta", nid)) for nid in range(512)}
+        assert len(mids) == sys64.n_modules  # 512 keys cover all 64 modules
+
+    def test_type_distinctions_that_matter_survive(self, sys64):
+        # str vs bytes vs int vs tuple keys are different keys; their
+        # canonical reprs — hence hash inputs — must stay distinct.
+        from repro.pim.model import _canonical_key
+
+        keys = ("5", b"5", 5, (5,))
+        assert len({repr(_canonical_key(k)) for k in keys}) == 4
+
+    def test_determinism_and_seed_salting(self):
+        a, b = PIMSystem(64, seed=9), PIMSystem(64, seed=9)
+        keys = [("meta", i) for i in range(100)]
+        assert [a.place(k) for k in keys] == [b.place(k) for k in keys]
+        other = PIMSystem(64, seed=10)
+        assert [a.place(k) for k in keys] != [other.place(k) for k in keys]

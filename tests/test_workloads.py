@@ -5,10 +5,13 @@ import pytest
 
 from repro.workloads import (
     bin_points,
+    bursty_arrivals,
     cosmos_like_points,
+    diurnal_arrivals,
     gini_coefficient,
     max_alpha,
     osm_like_points,
+    poisson_arrivals,
     uniform_points,
     varden_points,
     zipf_exponent_fit,
@@ -152,3 +155,63 @@ class TestZipfMix:
         base = rng.random((1000, 3)) * 0.5 + 0.2
         q = zipf_mix_queries(base, 300, 0.0, seed=2)
         assert q.min() >= 0.2 - 1e-9 and q.max() <= 0.7 + 1e-9
+
+
+ARRIVAL_PROCESSES = [poisson_arrivals, bursty_arrivals, diurnal_arrivals]
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("proc", ARRIVAL_PROCESSES)
+    def test_sorted_positive_and_sized(self, proc):
+        t = proc(1000.0, 500, seed=3)
+        assert t.shape == (500,)
+        assert np.all(t > 0)
+        assert np.all(np.diff(t) >= 0)
+
+    @pytest.mark.parametrize("proc", ARRIVAL_PROCESSES)
+    def test_deterministic_by_seed(self, proc):
+        a = proc(500.0, 200, seed=9)
+        b = proc(500.0, 200, seed=9)
+        np.testing.assert_array_equal(a, b)
+        c = proc(500.0, 200, seed=10)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("proc", ARRIVAL_PROCESSES)
+    def test_mean_rate_close_to_requested(self, proc):
+        rate = 2000.0
+        n = 8000
+        t = proc(rate, n, seed=5)
+        # Empirical rate over the generated span within 15% of requested
+        # (all three processes are normalised to the same long-run mean).
+        assert n / t[-1] == pytest.approx(rate, rel=0.15)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        rate, n = 1000.0, 6000
+        poisson_gaps = np.diff(poisson_arrivals(rate, n, seed=7))
+        bursty_gaps = np.diff(bursty_arrivals(rate, n, seed=7))
+        # Squared coefficient of variation: 1 for Poisson, > 1 for MMPP.
+        def cv2(g):
+            return float(np.var(g) / np.mean(g) ** 2)
+        assert cv2(bursty_gaps) > 1.5 * cv2(poisson_gaps)
+
+    def test_diurnal_rate_modulates(self):
+        t = diurnal_arrivals(1000.0, 8000, seed=2, day_s=4.0,
+                             peak_to_trough=6.0)
+        counts, _ = np.histogram(t, bins=np.arange(0.0, t[-1], 0.5))
+        # Peak half-second buckets must see far more arrivals than troughs.
+        assert counts.max() > 2.0 * max(1, counts.min())
+
+    @pytest.mark.parametrize("proc", ARRIVAL_PROCESSES)
+    def test_invalid_rate_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc(0.0, 10)
+
+    def test_arrival_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10.0, -1)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10.0, 5, burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10.0, 5, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 5, peak_to_trough=0.5)
