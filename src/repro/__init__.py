@@ -23,8 +23,10 @@ Package map (see DESIGN.md for the full inventory):
   plus open-loop arrival processes.
 * ``repro.eval`` — experiment harness, metrics and report tables (§7).
 * ``repro.serve`` — open-loop serving layer: admission queue, continuous
-  batching, virtual-clock scheduler, latency stats.
+  batching, virtual-clock scheduler, latency stats, retry/failover.
 * ``repro.obs`` — tracing/metrics for the simulator and serve runs.
+* ``repro.faults`` — seeded fault injection (crashes, storms, message
+  drops) and failover/recovery for the simulated machine.
 """
 
 from .baselines import CPUCostMeter, CPUCostModel, PkdTree, ZdTree

@@ -8,12 +8,17 @@ Examples::
     python -m repro.cli all --out results/
     python -m repro.cli trace --ops insert,bc-10,10-nn --out trace.json
     python -m repro.cli serve --arrival poisson --load 0.8 --out latency.json
+    python -m repro.cli faults --drop-rate 0.02 --crash 3@40 --retries 3
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
 report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
 the ``repro.obs`` collector attached and exports the per-phase/per-module
 timeline (JSON, optionally CSV), checking that the trace reconciles
-exactly with the simulator's counters.
+exactly with the simulator's counters.  ``faults`` is ``serve`` under a
+seeded :class:`repro.faults.FaultPlan`: module crashes, straggler storms
+and message drops are injected, the loop retries/fails over/degrades,
+and the report adds availability, the fault-event summary and the
+recovery phase's share of simulated time.
 """
 
 from __future__ import annotations
@@ -81,41 +86,87 @@ def _build_parser() -> argparse.ArgumentParser:
         help="open-loop serving run: arrival process, admission queue, "
              "continuous batching, latency stats",
     )
-    _add_common(p_sv)
-    p_sv.add_argument("--dataset", default="uniform", choices=sorted(DATASETS),
-                      help="workload distribution")
-    p_sv.add_argument("--index", default="pim",
-                      choices=["pim", "pim-skew", "zd", "pkd"],
-                      help="index adapter to serve from")
-    p_sv.add_argument("--arrival", default="poisson",
-                      choices=["poisson", "bursty", "diurnal"],
-                      help="arrival process")
-    p_sv.add_argument("--requests", type=int, default=2000,
-                      help="number of offered requests")
-    p_sv.add_argument("--load", type=float, default=0.8,
-                      help="offered load as a fraction of calibrated capacity")
-    p_sv.add_argument("--rate", type=float, default=None,
-                      help="absolute arrival rate (req/s of simulated time; "
-                           "overrides --load)")
-    p_sv.add_argument("--mix", default="knn=0.7,bc=0.15,bf=0.1,insert=0.05",
-                      help="request mix, e.g. knn=0.8,insert=0.2")
-    p_sv.add_argument("--k", type=int, default=10, help="k for kNN requests")
-    p_sv.add_argument("--queue-depth", type=int, default=1024,
-                      help="admission-queue depth bound")
-    p_sv.add_argument("--overflow", default="reject",
-                      choices=["reject", "shed-oldest"],
-                      help="backpressure policy when the queue is full")
-    p_sv.add_argument("--deadline-ms", type=float, default=None,
-                      help="per-request relative deadline (simulated ms)")
-    p_sv.add_argument("--policy", default="adaptive",
-                      choices=["adaptive", "fixed"], help="batch-size policy")
-    p_sv.add_argument("--fixed-batch", type=int, default=64,
-                      help="batch size for --policy fixed")
-    p_sv.add_argument("--out", type=Path, default=None,
-                      help="path for the latency-stats JSON document")
-    p_sv.add_argument("--csv", type=Path, default=None,
-                      help="path for the flat metric,value CSV")
+    _add_serve_args(p_sv)
+
+    p_ft = sub.add_parser(
+        "faults",
+        help="serving run under a seeded fault plan: crashes, straggler "
+             "storms, message drops; retry/failover/degraded-mode stats",
+    )
+    _add_serve_args(p_ft, index_choices=["pim", "pim-skew"])
+    p_ft.add_argument("--fault-seed", type=int, default=None,
+                      help="fault-plan RNG seed (default: master seed)")
+    p_ft.add_argument("--crash", action="append", default=None,
+                      metavar="MID@ROUND",
+                      help="schedule a module crash, e.g. --crash 3@40 "
+                           "(repeatable)")
+    p_ft.add_argument("--crash-rate", type=float, default=0.0,
+                      help="per-(module, round) crash probability")
+    p_ft.add_argument("--max-crashes", type=int, default=None,
+                      help="cap on random crashes")
+    p_ft.add_argument("--drop-rate", type=float, default=0.0,
+                      help="per-transfer CPU<->PIM message-loss probability")
+    p_ft.add_argument("--slow", action="append", default=None,
+                      metavar="MID:FACTOR",
+                      help="static straggler slowdown, e.g. --slow 0:4 "
+                           "(repeatable)")
+    p_ft.add_argument("--storm-rate", type=float, default=0.0,
+                      help="per-round probability a straggler storm starts")
+    p_ft.add_argument("--storm-factor", type=float, default=8.0,
+                      help="cycle multiplier during a storm")
+    p_ft.add_argument("--storm-rounds", type=int, default=4,
+                      help="rounds a storm lasts")
+    p_ft.add_argument("--retries", type=int, default=3,
+                      help="dispatch retries before giving up on a batch")
+    p_ft.add_argument("--backoff-ms", type=float, default=0.1,
+                      help="base exponential-backoff delay (simulated ms)")
+    p_ft.add_argument("--timeout-ms", type=float, default=None,
+                      help="per-request queue timeout (simulated ms)")
+    p_ft.add_argument("--no-failover", action="store_true",
+                      help="do not rebuild dead modules' shards")
+    p_ft.add_argument("--no-degraded", action="store_true",
+                      help="fail exhausted query batches instead of "
+                           "completing them with partial results")
     return parser
+
+
+def _add_serve_args(p: argparse.ArgumentParser,
+                    index_choices: list[str] | None = None) -> None:
+    """Arguments shared by the ``serve`` and ``faults`` subcommands."""
+    _add_common(p)
+    p.add_argument("--dataset", default="uniform", choices=sorted(DATASETS),
+                   help="workload distribution")
+    p.add_argument("--index", default="pim",
+                   choices=index_choices or ["pim", "pim-skew", "zd", "pkd"],
+                   help="index adapter to serve from")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"],
+                   help="arrival process")
+    p.add_argument("--requests", type=int, default=2000,
+                   help="number of offered requests")
+    p.add_argument("--load", type=float, default=0.8,
+                   help="offered load as a fraction of calibrated capacity")
+    p.add_argument("--rate", type=float, default=None,
+                   help="absolute arrival rate (req/s of simulated time; "
+                        "overrides --load)")
+    p.add_argument("--mix", default="knn=0.7,bc=0.15,bf=0.1,insert=0.05",
+                   help="request mix, e.g. knn=0.8,insert=0.2")
+    p.add_argument("--k", type=int, default=10, help="k for kNN requests")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="admission-queue depth bound")
+    p.add_argument("--overflow", default="reject",
+                   choices=["reject", "shed-oldest"],
+                   help="backpressure policy when the queue is full")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request relative deadline (simulated ms)")
+    p.add_argument("--policy", default="adaptive",
+                   choices=["adaptive", "fixed"], help="batch-size policy")
+    p.add_argument("--fixed-batch", type=int, default=64,
+                   help="batch size for --policy fixed")
+    p.add_argument("--out", type=Path, default=None,
+                   help="path for the latency-stats JSON document")
+    p.add_argument("--csv", type=Path, default=None,
+                   help="path for the flat metric,value CSV")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -291,6 +342,136 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    """The ``faults`` subcommand: serving under a seeded fault plan."""
+    import math
+
+    from .eval.experiments import _dataset
+    from .eval.harness import make_adapter
+    from .faults import FaultPlan
+    from .obs import TraceCollector, write_latency
+    from .serve import (
+        AdaptiveBatchPolicy,
+        AdmissionQueue,
+        FixedBatchPolicy,
+        ServeLoop,
+        calibrate_capacity,
+        make_requests,
+    )
+    from .workloads import bursty_arrivals, diurnal_arrivals, poisson_arrivals
+
+    n = args.n or 20_000
+    n_modules = args.n_modules or 32
+    seed = args.seed if args.seed is not None else 7
+    fault_seed = args.fault_seed if args.fault_seed is not None else seed
+
+    try:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, w = part.strip().partition("=")
+            mix[kind] = float(w)
+        crash_at = {}
+        for spec in args.crash or []:
+            mid, sep, rnd = spec.partition("@")
+            if not sep:
+                raise ValueError(f"malformed --crash {spec!r} (want MID@ROUND)")
+            crash_at[int(mid)] = int(rnd)
+        slow = {}
+        for spec in args.slow or []:
+            mid, sep, factor = spec.partition(":")
+            if not sep:
+                raise ValueError(f"malformed --slow {spec!r} (want MID:FACTOR)")
+            slow[int(mid)] = float(factor)
+        plan = FaultPlan(
+            seed=fault_seed, crash_at=crash_at, crash_rate=args.crash_rate,
+            max_crashes=args.max_crashes, drop_rate=args.drop_rate,
+            slow_factors=slow, storm_rate=args.storm_rate,
+            storm_factor=args.storm_factor, storm_rounds=args.storm_rounds,
+        )
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1")
+        return 2
+    if any(mid >= n_modules or mid < 0 for mid in (*crash_at, *slow)):
+        print(f"error: module ids must be in [0, {n_modules})")
+        return 2
+
+    data = _dataset(args.dataset, n, seed)
+
+    rate = args.rate
+    if rate is None:
+        # Calibrate against a fault-free throwaway adapter: capacity means
+        # the healthy machine's capacity, so degradation is visible.
+        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+        capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
+        rate = args.load * capacity
+        print(f"calibrated fault-free capacity ≈ {capacity:.0f} req/s; "
+              f"offering {args.load:.2f}x = {rate:.0f} req/s")
+
+    arrival_fn = {"poisson": poisson_arrivals, "bursty": bursty_arrivals,
+                  "diurnal": diurnal_arrivals}[args.arrival]
+    arrivals = arrival_fn(rate, args.requests, seed=seed + 1)
+    deadline_s = (args.deadline_ms * 1e-3 if args.deadline_ms is not None
+                  else math.inf)
+    try:
+        requests = make_requests(data, arrivals, mix=mix, k=args.k,
+                                 deadline_s=deadline_s, seed=seed + 2)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+
+    tracer = TraceCollector()
+    adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
+                           fault_plan=plan, tracer=tracer)
+    policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
+              else AdaptiveBatchPolicy())
+    loop = ServeLoop(
+        adapter, AdmissionQueue(args.queue_depth, overflow=args.overflow),
+        policy, max_retries=args.retries, backoff_s=args.backoff_ms * 1e-3,
+        timeout_s=(args.timeout_ms * 1e-3 if args.timeout_ms is not None
+                   else None),
+        degraded_mode=not args.no_degraded, failover=not args.no_failover,
+    )
+    result = loop.run(requests)
+
+    print(f"=== faults — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
+          f"{args.arrival} arrivals, {args.policy} batching ===")
+    print(result.stats.table())
+
+    summary = plan.summary()
+    dead = sorted(adapter.system.dead_modules)
+    events = (", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+              if summary else "none")
+    print(f"\ninjected events: {events}")
+    print(f"dead modules: {dead if dead else 'none'} "
+          f"({adapter.system.n_live}/{adapter.system.n_modules} live)")
+    retried = sum(1 for b in result.batches if b.retries)
+    print(f"batches: {len(result.batches)} total, {retried} retried")
+
+    stats = adapter.system.stats
+    rec = stats.phases.get("recovery")
+    if rec is not None:
+        t = adapter.tree.cost_model.time(rec)
+        total_t = adapter.tree.cost_model.time(stats.total)
+        share = 100.0 * t.total_s / total_t.total_s if total_t.total_s else 0.0
+        print(f"recovery phase: {t.total_s * 1e3:.3f}ms simulated "
+              f"({share:.2f}% of total sim time)")
+
+    problems = tracer.timeline.reconcile(stats)
+    print("trace reconciles exactly" if not problems
+          else f"RECONCILIATION FAILED: {problems}")
+
+    if args.out is not None or args.csv is not None:
+        write_latency(result.stats, json_path=args.out, csv_path=args.csv,
+                      batches=result.batches, faults=plan.events)
+        for path in (args.out, args.csv):
+            if path is not None:
+                print(f"wrote {path}")
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -306,6 +487,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "all":
         kwargs = _kwargs_from(args)

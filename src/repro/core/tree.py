@@ -446,8 +446,10 @@ class PIMZdTree:
             if self.l0_on_cpu:
                 self.system.charge_cpu(_SYNC_WORDS * messages)
             else:
+                # Replicas live only on live modules (dead ones were
+                # decommissioned and hold nothing).
                 self.system.charge_comm_flat(
-                    _SYNC_WORDS * self.system.n_modules * messages
+                    _SYNC_WORDS * self.system.n_live * messages
                 )
             if eager_updates:
                 self.system.charge_comm_flat(_SYNC_WORDS * eager_updates)
@@ -497,7 +499,8 @@ class PIMZdTree:
         if not self.l0_on_cpu:
             w = self.l0_words()
             for m in self.system.modules:
-                m.alloc_cache(w)
+                if not m.failed:
+                    m.alloc_cache(w)
 
     def space_words(self) -> dict[str, float]:
         """Space consumption split by category (Theorem 5.1)."""
@@ -557,6 +560,16 @@ class PIMZdTree:
 
         self._batch_counter += 1
         return box_fetch_batch(self, boxes)
+
+    def fail_over(self, mid: int) -> dict:
+        """Decommission module ``mid`` and rebuild its shard on live modules.
+
+        Charged under the ``"recovery"`` phase; see
+        :func:`repro.faults.fail_over`.
+        """
+        from ..faults.recovery import fail_over
+
+        return fail_over(self, mid)
 
     # ==================================================================
     # geometry helper

@@ -31,6 +31,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..faults.errors import FaultError
 from .chunking import MetaNode, chunk_region
 from .node import Layer, Node, node_words
 from .search import search_batch
@@ -91,16 +92,37 @@ def insert_batch(tree, points: np.ndarray) -> None:
         synced = _apply_path_deltas(tree, ((res, +1) for res in results))
 
         # ---- Step 3a/b: apply structural merges (one round + link round) --
+        # Fault atomicity: every fault site in the round (the sends — drop
+        # roll plus dead-module check; the merges' charge_pim can only
+        # address a module a send already vetted this round) is charged
+        # *before* the first merge mutates the tree.  If the round faults,
+        # no point was merged, so undoing the step-3e count deltas restores
+        # the exact pre-insert logical state and a retry (or a serving-layer
+        # compensation) never sees a half-applied batch.  On a fault-free
+        # run the charges are identical — only their order within the round
+        # changes, which the round close does not observe.
         state = _BatchState()
-        with sys.round():
-            for target, qids in groups.items():
-                karr = np.array([results[q].key for q in qids], dtype=np.uint64)
-                order = np.argsort(karr, kind="stable")
-                keys = karr[order]
-                pts = points[qids][order]
-                if target.layer != Layer.L0 and target.meta is not None:
-                    sys.send(target.meta.module, len(keys) * (tree.dims + 1))
-                _merge_target(tree, target, keys, pts, state)
+        try:
+            with sys.round():
+                staged = []
+                for target, qids in groups.items():
+                    karr = np.array(
+                        [results[q].key for q in qids], dtype=np.uint64
+                    )
+                    order = np.argsort(karr, kind="stable")
+                    keys = karr[order]
+                    pts = points[qids][order]
+                    if target.layer != Layer.L0 and target.meta is not None:
+                        sys.send(
+                            target.meta.module, len(keys) * (tree.dims + 1)
+                        )
+                    staged.append((target, keys, pts))
+                for target, keys, pts in staged:
+                    _merge_target(tree, target, keys, pts, state)
+        except FaultError:
+            with sys.faults_suppressed():
+                _apply_path_deltas(tree, ((res, -1) for res in results))
+            raise
 
         if state.new_links:
             with sys.round():

@@ -23,6 +23,7 @@ import numpy as np
 from ..baselines import CPUCostMeter, PkdTree, ZdTree
 from ..baselines.cpu_cost import XEON_BASELINE
 from ..core import Box, PIMZdTree, throughput_optimized, skew_resistant
+from ..faults.errors import FaultError
 from ..pim import PIMSystem
 from .metrics import OpMeasurement
 
@@ -90,9 +91,13 @@ class PIMZdTreeAdapter:
         cost_model=None,
         tracer=None,
         exec_mode: str | None = None,
+        fault_plan=None,
     ) -> None:
         if llc_bytes is None:
             llc_bytes = scaled_llc_bytes(22 * 2**20, len(points))
+        # The fault plan is attached only after construction: the machine
+        # is healthy at load time, and the build/upload charges stay
+        # byte-identical to a fault-free adapter's.
         self.system = PIMSystem(n_modules, seed=seed, llc_bytes=llc_bytes,
                                 tracer=tracer)
         if config is None:
@@ -108,6 +113,8 @@ class PIMZdTreeAdapter:
             cost_model = cost_model.scaled(n_modules)
         self.tree = PIMZdTree(points, config=config, system=self.system,
                               bounds=bounds, cost_model=cost_model)
+        if fault_plan is not None:
+            self.system.attach_faults(fault_plan)
         self.name = "pim-zd-tree"
         self.variant = config.name
 
@@ -122,9 +129,22 @@ class PIMZdTreeAdapter:
         aggregate CPU/PIM/comm split, the per-phase counters (charge-time
         attribution, see ``repro.pim.model``) are converted to seconds and
         carried in :attr:`OpMeasurement.phases` for the Fig. 6 breakdown.
+
+        If ``fn`` hits an injected fault, the work charged *up to* the
+        fault is measured and attached to the raised
+        :class:`~repro.faults.FaultError` as ``e.measurement`` — a failed
+        attempt still spent simulated time, and the serving layer bills it
+        to the retry.
         """
         start = self.system.snapshot()
-        elements = fn()
+        try:
+            elements = fn()
+        except FaultError as e:
+            e.measurement = self._measurement_since(start, 0)
+            raise
+        return self._measurement_since(start, elements)
+
+    def _measurement_since(self, start, elements: int) -> OpMeasurement:
         delta_stats = self.system.stats.diff(start)
         delta = delta_stats.total
         t = self.tree.cost_model.time(delta)
@@ -167,6 +187,11 @@ class PIMZdTreeAdapter:
     def box_fetch(self, boxes: Sequence[Box]) -> int:
         out = self.tree.box_fetch(boxes)
         return sum(len(a) for a in out)
+
+    def fail_over(self, mid: int) -> int:
+        """Rebuild module ``mid``'s shard on live modules (see
+        :func:`repro.faults.fail_over`); returns meta-nodes moved."""
+        return self.tree.fail_over(mid)["metas_moved"]
 
 
 class _BaselineAdapter:
@@ -243,7 +268,7 @@ class PkdTreeAdapter(_BaselineAdapter):
 # Kwargs only meaningful for the PIM adapter.  The baselines ignore them so
 # one sweep dict can drive all four kinds through :func:`make_adapter`.
 _PIM_ONLY_KWARGS = ("seed", "exec_mode", "cost_model", "tracer", "llc_bytes",
-                    "config", "variant")
+                    "config", "variant", "fault_plan")
 
 
 def make_adapter(kind: str, points: np.ndarray, **kw):

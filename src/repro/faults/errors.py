@@ -1,0 +1,44 @@
+"""Typed fault errors raised by the PIM simulator under a fault plan.
+
+These live in their own leaf module (no intra-repo imports) so that
+``repro.pim.model`` can raise them without creating an import cycle:
+``pim → faults.errors`` is the only edge from the simulator into the
+fault package, and ``faults.plan`` / ``faults.recovery`` depend on the
+simulator only lazily.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "ModuleFailure", "MessageLoss"]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected faults.
+
+    The harness adapter attaches the partial :class:`~repro.eval.metrics.
+    OpMeasurement` of the failed attempt as ``measurement`` before
+    re-raising, so callers (the serving loop) can charge the wasted work
+    to the virtual clock even though the operation produced no result.
+    """
+
+    measurement = None  # filled in by the adapter's measure() wrapper
+
+
+class ModuleFailure(FaultError):
+    """A PIM module crashed; any charge addressed to it fails."""
+
+    def __init__(self, mid: int) -> None:
+        super().__init__(f"PIM module {mid} has failed")
+        self.mid = int(mid)
+
+
+class MessageLoss(FaultError):
+    """A transient CPU↔PIM transfer was dropped (retryable)."""
+
+    def __init__(self, mid: int, direction: str, words: float) -> None:
+        super().__init__(
+            f"lost {direction} message of {words:g} words to/from module {mid}"
+        )
+        self.mid = int(mid)
+        self.direction = direction
+        self.words = float(words)

@@ -1,0 +1,65 @@
+"""Failover: rebuild a dead module's shard from the host-resident index.
+
+The simulator is functional — the canonical tree always lives in host
+memory — so a module crash loses *placement*, not data: every meta-node
+mastered on the dead module must be re-placed (salted hash with the dead
+set excluded, see :meth:`repro.pim.PIMSystem.place`) and its shard
+re-uploaded from the host copy.  The rebuild is charged through the
+simulator under the ``"recovery"`` phase, so recovery cost is visible in
+SimTime and in the Fig. 6-style phase attribution exactly like any other
+work:
+
+* one CPU re-placement hash per moved meta-node;
+* a host-DRAM read of each shard (the canonical index is streamed out);
+* one BSP round sending each shard (master copy plus its L1 replica
+  fan-out) to its new module.
+
+Fault injection is suppressed for the duration (the repair path runs
+over a reliable control channel), which also guarantees recovery
+terminates even under high drop rates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fail_over"]
+
+# Host-side salted-hash + bookkeeping work per re-placed meta-node.
+_REPLACE_CPU_OPS = 24
+
+
+def fail_over(tree, dead_mid: int) -> dict:
+    """Decommission ``dead_mid`` and rebuild its shard on live modules.
+
+    Returns a summary dict: the dead module id, how many meta-nodes were
+    re-placed and the total words re-uploaded.  Idempotent: failing over
+    an already-dead module with no resident meta-nodes is a cheap no-op.
+    """
+    from ..core.chunking import MetaNode  # noqa: F401 (documentation import)
+    from ..core.node import Layer
+
+    sys = tree.system
+    with sys.phase("recovery"), sys.faults_suppressed():
+        sys.decommission(dead_mid)
+        moved = sorted(
+            (m for m in tree.metas if m.module == dead_mid),
+            key=lambda m: m.root.nid,
+        )
+        words_moved = 0.0
+        if moved:
+            sys.charge_cpu(len(moved) * _REPLACE_CPU_OPS)
+            with sys.round():
+                for meta in moved:
+                    meta.module = sys.place(("meta", meta.root.nid))
+                    words = meta.size_words(tree.config)
+                    replicas = (meta.replica_count()
+                                if meta.layer == Layer.L1 else 0)
+                    total = words * (1 + replicas)
+                    sys.dram_stream(words)
+                    sys.send(meta.module, total)
+                    words_moved += total
+        tree.refresh_residency()
+    return {
+        "module": int(dead_mid),
+        "metas_moved": len(moved),
+        "words_moved": float(words_moved),
+    }

@@ -28,6 +28,7 @@ Driven from the CLI via ``python -m repro.cli trace`` (JSON/CSV export).
 from .export import (
     latency_csv,
     latency_json,
+    sanitize_json,
     timeline_csv,
     timeline_json,
     write_latency,
@@ -45,6 +46,7 @@ __all__ = [
     "TraceEvent",
     "latency_csv",
     "latency_json",
+    "sanitize_json",
     "timeline_csv",
     "timeline_json",
     "write_latency",

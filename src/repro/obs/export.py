@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+import math
 from pathlib import Path
 
 from .trace import TraceCollector
@@ -22,6 +23,7 @@ __all__ = [
     "latency_json",
     "latency_csv",
     "write_latency",
+    "sanitize_json",
 ]
 
 _PHASE_COLUMNS = (
@@ -52,6 +54,8 @@ def timeline_json(collector: TraceCollector, *, stats=None,
     }
     if include_events:
         doc["events"] = [e.to_dict() for e in collector.events()]
+    if collector.fault_events:
+        doc["faults"] = [ev.to_dict() for ev in collector.fault_events]
     if stats is not None:
         problems = collector.timeline.reconcile(stats)
         doc["reconciliation"] = {"exact": not problems, "problems": problems}
@@ -88,17 +92,36 @@ def write_trace(collector: TraceCollector, json_path=None, csv_path=None, *,
 # ======================================================================
 # serving-layer latency exports (repro.serve)
 # ======================================================================
-def latency_json(stats, *, batches=None) -> dict:
+def sanitize_json(value):
+    """Replace non-finite floats with ``None``, recursively.
+
+    Strict JSON has no NaN/Infinity literals; exporters sanitise before
+    dumping with ``allow_nan=False`` so every document parses everywhere.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: sanitize_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json(v) for v in value]
+    return value
+
+
+def latency_json(stats, *, batches=None, faults=None) -> dict:
     """JSON document for a serve run's :class:`~repro.serve.LatencyStats`.
 
-    ``batches`` (the run's :class:`~repro.serve.BatchRecord` list) is
-    embedded when given, so the batch-size/amortisation trajectory can be
-    analysed offline.
+    ``batches`` (the run's :class:`~repro.serve.BatchRecord` list) and
+    ``faults`` (injected :class:`~repro.faults.FaultEvent` list) are
+    embedded when given, so the batch-size/amortisation trajectory and the
+    fault schedule can be analysed offline.  Non-finite floats are
+    serialised as ``null`` (strict JSON).
     """
     doc: dict = {"format": "repro.obs/serve-1", "stats": stats.to_dict()}
     if batches is not None:
         doc["batches"] = [b.to_dict() for b in batches]
-    return doc
+    if faults is not None:
+        doc["faults"] = [ev.to_dict() for ev in faults]
+    return sanitize_json(doc)
 
 
 def _flatten(prefix: str, value, rows: list) -> None:
@@ -121,11 +144,14 @@ def latency_csv(stats) -> str:
     return buf.getvalue()
 
 
-def write_latency(stats, json_path=None, csv_path=None, *, batches=None) -> dict:
+def write_latency(stats, json_path=None, csv_path=None, *, batches=None,
+                  faults=None) -> dict:
     """Write the serve-latency JSON and/or CSV; returns the JSON document."""
-    doc = latency_json(stats, batches=batches)
+    doc = latency_json(stats, batches=batches, faults=faults)
     if json_path is not None:
-        Path(json_path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+        Path(json_path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
+        )
     if csv_path is not None:
         Path(csv_path).write_text(latency_csv(stats))
     return doc

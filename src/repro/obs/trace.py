@@ -35,8 +35,9 @@ class EventKind:
     SEND = "send"  # value = words CPU → module `mid` (raw)
     RECV = "recv"  # value = words module `mid` → CPU (raw)
     ROUND = "round"  # value = straggler cycles; aux = total words
+    FAULT = "fault"  # value = words lost / slow factor (injected fault)
 
-    ALL = (CPU, DRAM, COMM_FLAT, PIM, SEND, RECV, ROUND)
+    ALL = (CPU, DRAM, COMM_FLAT, PIM, SEND, RECV, ROUND, FAULT)
 
 
 @dataclass(slots=True)
@@ -140,6 +141,9 @@ class TraceCollector:
         self.timeline = Timeline()
         self.seq = 0  # events emitted (including dropped)
         self.rounds_seen = 0
+        # Injected fault events (repro.faults.FaultEvent), never dropped:
+        # faults are rare and each one explains an anomaly in the rounds.
+        self.fault_events: list = []
 
     # -- ring -----------------------------------------------------------
     @property
@@ -197,6 +201,18 @@ class TraceCollector:
     def on_recv(self, phase: str, mid: int, words: float) -> None:
         self._emit(EventKind.RECV, phase, mid, self.rounds_seen, words)
         self.timeline.module(mid).send_words += words
+
+    # -- fault injection ---------------------------------------------------
+    def on_fault(self, phase: str, event) -> None:
+        """Record one injected fault (a :class:`repro.faults.FaultEvent`).
+
+        Faults are *recorded*, never booked: injection does not change any
+        counter by itself (the retry/recovery work it triggers is charged
+        through the ordinary hooks), so reconciliation stays exact.
+        """
+        self._emit(EventKind.FAULT, phase, event.mid, event.round_index,
+                   event.value)
+        self.fault_events.append(event)
 
     # -- round close ------------------------------------------------------
     def on_round(self, rec: RoundRecord) -> None:

@@ -27,6 +27,17 @@ An optional :class:`repro.obs.TraceCollector` (``tracer=`` /
 :meth:`attach_tracer`) observes every charge and round close; with none
 attached the per-charge cost is a single ``is None`` test and the counters
 are byte-identical to an untraced run.
+
+An optional :class:`repro.faults.FaultPlan` (``fault_plan=`` /
+:meth:`attach_faults`) injects seeded faults at the charging sites:
+charges addressed to a decommissioned module raise
+:class:`~repro.faults.ModuleFailure`, transfers may be dropped
+(:class:`~repro.faults.MessageLoss`, raised before the words are
+charged), straggler slowdowns multiply ``charge_pim`` cycles, and each
+round close advances the plan's crash/storm schedule.  With no plan
+attached (and no dead modules) every fault check is a single ``is None``
+or empty-set test and the counters are byte-identical to a fault-free
+run.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..faults.errors import MessageLoss, ModuleFailure
 from .cache import LRUCache
 from .module import PIMModule
 from .stats import PIMStats
@@ -84,6 +96,7 @@ class PIMSystem:
         module_capacity_words: int | None = None,
         seed: int = 0,
         tracer=None,
+        fault_plan=None,
     ) -> None:
         if n_modules < 1:
             raise ValueError("need at least one PIM module")
@@ -101,6 +114,8 @@ class PIMSystem:
         self._round_entry_phase = "other"
         self._rounds_charged = 0  # non-empty rounds closed so far
         self._trace = tracer
+        self._faults = fault_plan
+        self._dead: set[int] = set()  # decommissioned module ids
 
     # ------------------------------------------------------------------
     # tracing
@@ -124,6 +139,99 @@ class PIMSystem:
         return tracer
 
     # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    @property
+    def fault_plan(self):
+        """The attached :class:`repro.faults.FaultPlan`, or ``None``."""
+        return self._faults
+
+    def attach_faults(self, plan) -> None:
+        """Attach a fault plan (replaces any previous one)."""
+        self._faults = plan
+
+    def detach_faults(self):
+        """Detach and return the current fault plan (faults off)."""
+        plan, self._faults = self._faults, None
+        return plan
+
+    @property
+    def dead_modules(self) -> frozenset[int]:
+        """Ids of decommissioned modules."""
+        return frozenset(self._dead)
+
+    @property
+    def n_live(self) -> int:
+        """Number of modules still in service."""
+        return self.n_modules - len(self._dead)
+
+    @contextmanager
+    def faults_suppressed(self):
+        """No new fault injection inside the block (recovery/repair paths).
+
+        Dead-module checks stay in force — a decommissioned module can
+        never be charged — but drops, crashes and storms are paused, so
+        repair traffic always completes.
+        """
+        plan = self._faults
+        if plan is None:
+            yield
+            return
+        prev = plan.paused
+        plan.paused = True
+        try:
+            yield
+        finally:
+            plan.paused = prev
+
+    def decommission(self, mid: int) -> None:
+        """Mark module ``mid`` dead: it holds nothing and accepts no charge.
+
+        Idempotent.  Placement (:meth:`place`) excludes dead modules from
+        here on; residency is zeroed (the master copies are gone — the
+        host-resident canonical index is the source for any rebuild).
+        """
+        mid = int(mid)
+        if mid in self._dead:
+            return
+        if self.n_live <= 1:
+            raise RuntimeError("cannot decommission the last live module")
+        self._dead.add(mid)
+        m = self.modules[mid]
+        m.failed = True
+        m.master_words = 0.0
+        m.cache_words = 0.0
+
+    def kill_module(self, mid: int) -> None:
+        """Externally crash module ``mid`` (CLI / tests), recording the event."""
+        self.decommission(mid)
+        if self._faults is not None:
+            ev = self._faults.record_kill(int(mid), self._rounds_charged)
+            self._notify_fault(ev)
+        elif self._trace is not None:
+            from ..faults.plan import FaultEvent
+
+            self._notify_fault(
+                FaultEvent("kill", int(mid), self._rounds_charged, 0.0, "manual")
+            )
+
+    def _notify_fault(self, event) -> None:
+        if self._trace is not None:
+            on_fault = getattr(self._trace, "on_fault", None)
+            if on_fault is not None:
+                on_fault(self.current_phase, event)
+
+    def _check_dead(self, mid: int) -> None:
+        if self._dead and mid in self._dead:
+            raise ModuleFailure(mid)
+
+    def _check_drop(self, direction: str, mid: int, words: float) -> None:
+        ev = self._faults.should_drop(direction, mid, words, self._rounds_charged)
+        if ev is not None:
+            self._notify_fault(ev)
+            raise MessageLoss(mid, direction, words)
+
+    # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
     def place(self, key) -> int:
@@ -132,11 +240,28 @@ class PIMSystem:
         Keys are canonicalised first (NumPy scalars → Python scalars,
         containers recursively) so placement is independent of the caller's
         dtype and of the installed NumPy version's repr conventions.
+
+        Dead modules are excluded by deterministic rehashing: attempt 0 is
+        the plain salted hash (byte-identical to the fault-free layout),
+        and each further attempt mixes an attempt counter into the digest
+        until a live module is hit — so failover re-placement is itself a
+        pure function of (key, seed, dead set).
         """
+        data = repr(_canonical_key(key)).encode()
         digest = hashlib.blake2b(
-            repr(_canonical_key(key)).encode(), key=self._salt[:16], digest_size=8
+            data, key=self._salt[:16], digest_size=8
         ).digest()
-        return int.from_bytes(digest, "little") % self.n_modules
+        mid = int.from_bytes(digest, "little") % self.n_modules
+        if not self._dead:
+            return mid
+        attempt = 0
+        while mid in self._dead:
+            attempt += 1
+            digest = hashlib.blake2b(
+                data + b"#retry%d" % attempt, key=self._salt[:16], digest_size=8
+            ).digest()
+            mid = int.from_bytes(digest, "little") % self.n_modules
+        return mid
 
     # ------------------------------------------------------------------
     # phases
@@ -322,30 +447,66 @@ class PIMSystem:
         for m in dirty:
             m.begin_round()
 
+        # Advance the fault schedule: storms decay/start, crashes land.
+        # Crash events are applied here (decommission) so the failure is
+        # detected on the *next* charge addressed to the dead module.
+        if self._faults is not None and not self._faults.paused:
+            live = [m.mid for m in self.modules if not m.failed]
+            for ev in self._faults.on_round_close(self._rounds_charged - 1, live):
+                if ev.kind == "crash":
+                    if self.n_live <= 1:
+                        continue  # never crash the last live module
+                    self.decommission(ev.mid)
+                self._notify_fault(ev)
+
     def _module_in_round(self, mid: int) -> PIMModule:
         if not self._in_round:
             raise RuntimeError("PIM activity is only legal inside a BSP round")
+        if self._dead and mid in self._dead:
+            raise ModuleFailure(mid)
         self._round_dirty.add(mid)
         return self.modules[mid]
 
     def charge_pim(self, mid: int, cycles: float) -> None:
-        """Charge PIM-core cycles on module ``mid`` in the current round."""
+        """Charge PIM-core cycles on module ``mid`` in the current round.
+
+        With a fault plan attached, straggler slowdowns (static and storm)
+        multiply the charged cycles — the slow module inflates the round's
+        straggler max exactly as §2.1's max-over-modules dictates.
+        """
         phase = self.current_phase
-        self._module_in_round(mid).charge(cycles, phase)
+        m = self._module_in_round(mid)
+        if self._faults is not None:
+            f = self._faults.slow_factor(mid)
+            if f != 1.0:
+                cycles = cycles * f
+        m.charge(cycles, phase)
         if self._trace is not None:
             self._trace.on_pim(phase, mid, cycles)
 
     def send(self, mid: int, words: float) -> None:
-        """CPU → module transfer of ``words`` words in the current round."""
+        """CPU → module transfer of ``words`` words in the current round.
+
+        With a fault plan attached the transfer may be dropped
+        (:class:`~repro.faults.MessageLoss`), raised *before* the words are
+        charged; work already charged in the round stands and books when
+        the round closes.
+        """
         phase = self.current_phase
-        self._module_in_round(mid).add_recv(words, phase)
+        m = self._module_in_round(mid)
+        if self._faults is not None:
+            self._check_drop("send", mid, words)
+        m.add_recv(words, phase)
         if self._trace is not None:
             self._trace.on_send(phase, mid, words)
 
     def recv(self, mid: int, words: float) -> None:
         """Module → CPU transfer of ``words`` words in the current round."""
         phase = self.current_phase
-        self._module_in_round(mid).add_send(words, phase)
+        m = self._module_in_round(mid)
+        if self._faults is not None:
+            self._check_drop("recv", mid, words)
+        m.add_send(words, phase)
         if self._trace is not None:
             self._trace.on_recv(phase, mid, words)
 
@@ -358,9 +519,15 @@ class PIMSystem:
         (integer-valued charges sum exactly in float64).
         """
         phase = self.current_phase
+        faults = self._faults
         for mid, cycles in cycles_by_mid.items():
             if cycles:
-                self._module_in_round(mid).charge(cycles, phase)
+                m = self._module_in_round(mid)
+                if faults is not None:
+                    f = faults.slow_factor(mid)
+                    if f != 1.0:
+                        cycles = cycles * f
+                m.charge(cycles, phase)
                 if self._trace is not None:
                     self._trace.on_pim(phase, mid, cycles)
 
@@ -369,7 +536,10 @@ class PIMSystem:
         phase = self.current_phase
         for mid, words in words_by_mid.items():
             if words:
-                self._module_in_round(mid).add_recv(words, phase)
+                m = self._module_in_round(mid)
+                if self._faults is not None:
+                    self._check_drop("send", mid, words)
+                m.add_recv(words, phase)
                 if self._trace is not None:
                     self._trace.on_send(phase, mid, words)
 
@@ -378,7 +548,10 @@ class PIMSystem:
         phase = self.current_phase
         for mid, words in words_by_mid.items():
             if words:
-                self._module_in_round(mid).add_send(words, phase)
+                m = self._module_in_round(mid)
+                if self._faults is not None:
+                    self._check_drop("recv", mid, words)
+                m.add_send(words, phase)
                 if self._trace is not None:
                     self._trace.on_recv(phase, mid, words)
 
@@ -393,7 +566,7 @@ class PIMSystem:
         if words <= 0:
             return
         phase = self.current_phase
-        max_words = words / self.n_modules
+        max_words = words / self.n_live
         for counters in (self.stats.total, self.stats.phase(phase)):
             counters.comm_words += words
             counters.comm_max_words += max_words
@@ -401,8 +574,10 @@ class PIMSystem:
             self._trace.on_comm_flat(phase, words, max_words)
 
     def broadcast(self, words_per_module: float) -> None:
-        """CPU → all modules (replication update); charged per module."""
+        """CPU → all live modules (replication update); charged per module."""
         for mid in range(self.n_modules):
+            if mid in self._dead:
+                continue
             self.send(mid, words_per_module)
 
     # ------------------------------------------------------------------

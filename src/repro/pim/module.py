@@ -27,11 +27,16 @@ class PIMModule:
         "round_phase_words",
         "master_words",
         "cache_words",
+        "failed",
     )
 
     def __init__(self, mid: int, capacity_words: int | None = None) -> None:
         self.mid = mid
         self.capacity_words = capacity_words
+        # Set by PIMSystem.decommission when a fault plan (or a manual
+        # kill) crashes this module; a failed module holds nothing and
+        # any charge addressed to it raises ModuleFailure.
+        self.failed = False
         self.total_cycles = 0.0
         self.round_cycles = 0.0
         self.round_send_words = 0.0
@@ -103,7 +108,9 @@ class PIMModule:
         return self.capacity_words is not None and self.used_words > self.capacity_words
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dead = ", FAILED" if self.failed else ""
         return (
             f"PIMModule(mid={self.mid}, cycles={self.total_cycles:.0f}, "
-            f"master={self.master_words:.0f}w, cache={self.cache_words:.0f}w)"
+            f"master={self.master_words:.0f}w, cache={self.cache_words:.0f}w"
+            f"{dead})"
         )

@@ -62,6 +62,19 @@ class PhaseCounters:
             self.dram_words - earlier.dram_words,
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (determinism tests, CLI/JSON export)."""
+        return {
+            "cpu_ops": self.cpu_ops,
+            "cpu_span": self.cpu_span,
+            "pim_cycles": self.pim_cycles,
+            "comm_words": self.comm_words,
+            "comm_max_words": self.comm_max_words,
+            "rounds": self.rounds,
+            "module_rounds": self.module_rounds,
+            "dram_words": self.dram_words,
+        }
+
 
 @dataclass
 class PIMStats:
@@ -97,3 +110,12 @@ class PIMStats:
             b = earlier.phases.get(label, PhaseCounters())
             out.phases[label] = a.diff(b)
         return out
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, phases sorted by label (byte-stable for a
+        given execution — the determinism tests compare these directly)."""
+        return {
+            "total": self.total.to_dict(),
+            "phases": {k: self.phases[k].to_dict() for k in sorted(self.phases)},
+            "mux_switches": self.mux_switches,
+        }

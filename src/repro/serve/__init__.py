@@ -19,6 +19,15 @@ the missing layer on top of the existing harness adapters:
   time-in-service, goodput under deadline; exported as JSON/CSV through
   ``repro.obs`` and surfaced by ``python -m repro.cli serve``.
 
+Under a :class:`repro.faults.FaultPlan` the loop is *resilient*: typed
+faults from the simulator are retried with exponential backoff, a dead
+module's shard is failed over (rebuilt from the host-resident index,
+charged under the ``"recovery"`` phase), queued requests expire after a
+per-request timeout, and exhausted query batches complete with partial
+results — every request still ends in exactly one terminal state, and
+:class:`LatencyStats` reports availability alongside goodput.  Driven
+from the CLI via ``python -m repro.cli faults``.
+
 Everything runs on the simulated clock, so serve runs are deterministic:
 identical inputs produce byte-identical stats.
 """
@@ -76,10 +85,21 @@ def calibrate_capacity(adapter, data, *, kind: str = "knn", k: int = 10,
 
 
 def serve(adapter, requests, *, queue_depth: int = 1024,
-          overflow: str = "reject", policy=None) -> ServeResult:
-    """One-call serve run: build the queue and loop, serve ``requests``."""
+          overflow: str = "reject", policy=None,
+          max_retries: int = 3, backoff_s: float = 1e-4,
+          timeout_s: float | None = None, degraded_mode: bool = True,
+          failover: bool = True) -> ServeResult:
+    """One-call serve run: build the queue and loop, serve ``requests``.
+
+    The fault-resilience knobs (``max_retries``, ``backoff_s``,
+    ``timeout_s``, ``degraded_mode``, ``failover``) are forwarded to
+    :class:`ServeLoop`; all are inert on a fault-free adapter except
+    ``timeout_s``, which expires over-age queued requests regardless.
+    """
     if policy is None:
         policy = AdaptiveBatchPolicy()
     loop = ServeLoop(adapter, AdmissionQueue(queue_depth, overflow=overflow),
-                     policy)
+                     policy, max_retries=max_retries, backoff_s=backoff_s,
+                     timeout_s=timeout_s, degraded_mode=degraded_mode,
+                     failover=failover)
     return loop.run(requests)

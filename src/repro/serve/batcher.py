@@ -78,17 +78,25 @@ class AdaptiveBatchPolicy:
             probe = self._probe.get(group, self.min_batch)
             return min(backlog, probe, self.max_batch)
         a, b = fit
+        # A noisy window can fit b <= 0 (or an a/b ratio far beyond the
+        # observed range), which would jump the batch straight to
+        # max_batch on the strength of a degenerate extrapolation.  Cap
+        # every fitted choice at 2x the largest batch actually observed:
+        # growth stays geometric (like the bootstrap probes) instead of
+        # cliff-jumping into head-of-line blocking.
+        cap = max(self.min_batch, 2 * max(sz for sz, _ in self._obs[group]))
         if a <= 0.0:
             # No measurable fixed overhead: batching buys nothing, serve in
             # the finest grains the backlog allows.
             return min(backlog, max(1, self.min_batch))
         if b <= 0.0:
-            # No measurable marginal cost: amortise as hard as possible.
-            return min(backlog, self.max_batch)
+            # No measurable marginal cost: amortise as hard as the
+            # observed range supports.
+            return min(backlog, cap, self.max_batch)
         f = self.overhead_target
         b_star = math.ceil(a * (1.0 - f) / (b * f))
         b_star = max(b_star, self.min_batch)
-        return min(backlog, b_star, self.max_batch)
+        return min(backlog, b_star, cap, self.max_batch)
 
     def observe(self, group: tuple, size: int, service_s: float) -> None:
         obs = self._obs.setdefault(group, [])

@@ -8,7 +8,8 @@ single-server queueing system:
 
 1. admit every arrival with ``arrival_s <= now`` into the admission
    queue (the queue applies its overflow policy — reject or shed);
-2. if the queue is empty, advance the clock to the next arrival;
+2. expire queued requests past their timeout (``timeout_s``), then, if
+   the queue is empty, advance the clock to the next arrival;
 3. otherwise form a batch — the batching group of the *oldest* queued
    request (FIFO across groups), sized by the batch policy — dispatch it
    through ``adapter.measure``, and advance the virtual clock by the
@@ -17,20 +18,42 @@ single-server queueing system:
    the arrivals that landed during the service interval at their own
    arrival instants.
 
-Every timestamp is simulated seconds; no wall clock is read, so a run is
-a pure function of (adapter construction, request sequence, queue
-configuration, batch policy) and two identical runs produce
-byte-identical :class:`~repro.serve.stats.LatencyStats`.
+**Fault resilience.**  When the adapter's simulator carries a
+:class:`~repro.faults.FaultPlan`, a dispatch can raise a typed
+:class:`~repro.faults.FaultError`.  The loop then:
+
+* bills the simulated time the failed attempt burned (attached to the
+  error by ``adapter.measure``) to the batch — wasted work is part of
+  the latency the clients see;
+* on :class:`~repro.faults.ModuleFailure`, triggers **failover** (once
+  per module): ``adapter.fail_over`` rebuilds the dead module's shard
+  from the host-resident index, charged under the ``"recovery"`` phase;
+* rolls back any partial insert (a measured, fault-suppressed
+  compensating delete) so a retry never double-inserts and the logical
+  point set stays byte-identical to a fault-free run's;
+* retries up to ``max_retries`` times with exponential backoff
+  (``backoff_s * 2**attempt`` of virtual time);
+* when retries are exhausted, completes query batches in **degraded
+  mode** (partial results, status DEGRADED) or fails them (FAILED);
+  inserts always fail atomically (compensated first).
+
+Every offered request still ends in exactly one terminal state.  Every
+timestamp is simulated seconds; no wall clock is read, so a run is a pure
+function of (adapter construction, request sequence, queue configuration,
+batch policy, fault plan) and two identical runs produce byte-identical
+:class:`~repro.serve.stats.LatencyStats`.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.errors import FaultError, ModuleFailure
 from .queue import AdmissionQueue
-from .request import DONE, Request
+from .request import DEGRADED, DONE, FAILED, Request
 from .stats import LatencyStats
 
 __all__ = ["BatchRecord", "ServeResult", "ServeLoop"]
@@ -47,12 +70,15 @@ class BatchRecord:
     dispatch_s: float
     service_s: float
     elements: int
+    status: str = DONE          # terminal state of the batch's requests
+    retries: int = 0            # fault retries this batch consumed
 
     def to_dict(self) -> dict:
         return {
             "bid": self.bid, "kind": self.kind, "k": self.k,
             "size": self.size, "dispatch_s": self.dispatch_s,
             "service_s": self.service_s, "elements": self.elements,
+            "status": self.status, "retries": self.retries,
         }
 
 
@@ -69,12 +95,44 @@ class ServeResult:
 
 
 class ServeLoop:
-    """Single-server continuous-batching scheduler on a virtual clock."""
+    """Single-server continuous-batching scheduler on a virtual clock.
 
-    def __init__(self, adapter, queue: AdmissionQueue, policy) -> None:
+    Fault-resilience knobs (all inert on a fault-free adapter):
+
+    max_retries:
+        Dispatch attempts after the first before giving up on a batch.
+    backoff_s:
+        Base of the exponential backoff added to the virtual clock after
+        a failed attempt (``backoff_s * 2**attempt``).
+    timeout_s:
+        Per-request queue timeout; ``None`` disables expiry.
+    degraded_mode:
+        Exhausted query batches complete with partial results (DEGRADED)
+        instead of failing outright.
+    failover:
+        Rebuild a dead module's shard on the first ModuleFailure naming
+        it (disable to study unrecovered degradation).
+    """
+
+    def __init__(self, adapter, queue: AdmissionQueue, policy, *,
+                 max_retries: int = 3, backoff_s: float = 1e-4,
+                 timeout_s: float | None = None, degraded_mode: bool = True,
+                 failover: bool = True) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
         self.adapter = adapter
         self.queue = queue
         self.policy = policy
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.timeout_s = timeout_s
+        self.degraded_mode = bool(degraded_mode)
+        self.failover = bool(failover)
+        self._recovered: set[int] = set()  # modules already failed over
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeResult:
@@ -85,6 +143,8 @@ class ServeLoop:
         now = 0.0
         batches: list[BatchRecord] = []
         while True:
+            if self.timeout_s is not None:
+                self.queue.expire(now, self.timeout_s)
             if self.queue.is_empty:
                 if i >= n:
                     break
@@ -94,22 +154,27 @@ class ServeLoop:
                     self.queue.offer(pending[i], pending[i].arrival_s)
                     i += 1
                 continue
+            assert not self.queue.is_empty, "batch forming on empty queue"
             group = self.queue.head_group()
             size = self.policy.batch_size(group, self.queue.backlog(group))
             batch = self.queue.take(group, size)
-            service_s, elements = self._execute(batch)
+            service_s, elements, status, retries = self._dispatch(batch)
             end = now + service_s
             for r in batch:
                 r.dispatch_s = now
                 r.complete_s = end
-                r.status = DONE
+                r.status = status
                 r.batch_id = len(batches)
-            self.policy.observe(group, len(batch), service_s)
+            if status == DONE and retries == 0:
+                # Only clean dispatches feed the amortisation fit: a
+                # retried batch's service time includes wasted attempts,
+                # backoff and recovery, which would poison t(B) = a + bB.
+                self.policy.observe(group, len(batch), service_s)
             batches.append(
                 BatchRecord(
                     bid=len(batches), kind=batch[0].kind, k=batch[0].k,
                     size=len(batch), dispatch_s=now, service_s=service_s,
-                    elements=elements,
+                    elements=elements, status=status, retries=retries,
                 )
             )
             # Arrivals that landed while the batch was in service are
@@ -120,6 +185,72 @@ class ServeLoop:
                 i += 1
             now = end
         return ServeResult(requests=pending, batches=batches)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[Request]) -> tuple[float, int, str, int]:
+        """Execute one batch with retry/failover/degradation.
+
+        Returns ``(service seconds, elements, terminal status, retries)``.
+        The service time accumulates every failed attempt, recovery,
+        compensation and backoff — the full price the batch paid.
+        """
+        kind = batch[0].kind
+        total_s = 0.0
+        attempt = 0
+        while True:
+            try:
+                service_s, elements = self._execute(batch)
+                return total_s + service_s, elements, DONE, attempt
+            except FaultError as e:
+                m = getattr(e, "measurement", None)
+                if m is not None:
+                    total_s += m.sim_time_s
+                total_s += self._recover(e)
+                if kind == "insert":
+                    # Roll back whatever the failed attempt inserted so a
+                    # retry never double-inserts (and a FAILED batch
+                    # leaves the logical point set untouched).
+                    total_s += self._compensate_insert(batch)
+                if attempt >= self.max_retries:
+                    if kind != "insert" and self.degraded_mode:
+                        # Partial results: answered from whatever the
+                        # attempts produced before faulting.
+                        return total_s, 0, DEGRADED, attempt
+                    return total_s, 0, FAILED, attempt
+                total_s += self.backoff_s * (2 ** attempt)
+                attempt += 1
+
+    def _recover(self, exc: FaultError) -> float:
+        """Failover after a ModuleFailure (once per module); returns the
+        simulated seconds recovery charged."""
+        if not (self.failover and isinstance(exc, ModuleFailure)):
+            return 0.0
+        mid = exc.mid
+        if mid in self._recovered or not hasattr(self.adapter, "fail_over"):
+            return 0.0
+        self._recovered.add(mid)
+        m = self.adapter.measure(lambda: self.adapter.fail_over(mid))
+        return m.sim_time_s
+
+    def _compensate_insert(self, batch: list[Request]) -> float:
+        """Measured, fault-suppressed delete of the batch's points."""
+        pts = np.stack([r.payload for r in batch])
+        with self._faults_suppressed():
+            try:
+                m = self.adapter.measure(lambda: self.adapter.delete(pts))
+            except FaultError as e:
+                # Without failover a dead module can make even the
+                # rollback fail; bill the attempt and move on (the
+                # no-failover configuration forfeits oracle equality).
+                m = getattr(e, "measurement", None)
+                return m.sim_time_s if m is not None else 0.0
+        return m.sim_time_s
+
+    def _faults_suppressed(self):
+        system = getattr(self.adapter, "system", None)
+        if system is not None and hasattr(system, "faults_suppressed"):
+            return system.faults_suppressed()
+        return nullcontext()
 
     # ------------------------------------------------------------------
     def _execute(self, batch: list[Request]) -> tuple[float, int]:

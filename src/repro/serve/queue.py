@@ -17,7 +17,7 @@ reported in :class:`~repro.serve.stats.LatencyStats`.
 
 from __future__ import annotations
 
-from .request import QUEUED, REJECTED, SHED, Request
+from .request import QUEUED, REJECTED, SHED, TIMED_OUT, Request
 
 __all__ = ["AdmissionQueue", "OVERFLOW_POLICIES"]
 
@@ -40,6 +40,7 @@ class AdmissionQueue:
         self._q: list[Request] = []
         self.rejected: list[Request] = []
         self.shed: list[Request] = []
+        self.timed_out: list[Request] = []
 
     def __len__(self) -> int:
         return len(self._q)
@@ -69,7 +70,28 @@ class AdmissionQueue:
 
     def head_group(self) -> tuple:
         """Batching group of the oldest queued request (FIFO fairness)."""
+        if not self._q:
+            raise LookupError("head_group() on an empty admission queue")
         return self._q[0].group
+
+    def expire(self, now: float, timeout_s: float) -> list[Request]:
+        """Time out queued requests older than ``timeout_s`` at ``now``.
+
+        Expired requests leave with status TIMED_OUT and a completion
+        stamp at the moment their timeout elapsed (not at ``now``, which
+        may be later — the batch that exposed the timeout is irrelevant to
+        the client that stopped waiting).
+        """
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        expired = [r for r in self._q if now - r.arrival_s > timeout_s]
+        if expired:
+            self._q = [r for r in self._q if now - r.arrival_s <= timeout_s]
+            for r in expired:
+                r.status = TIMED_OUT
+                r.complete_s = r.arrival_s + timeout_s
+            self.timed_out.extend(expired)
+        return expired
 
     def backlog(self, group: tuple) -> int:
         """Number of queued requests in ``group``."""

@@ -28,8 +28,13 @@ KINDS = ("insert", "knn", "bc", "bf")
 
 # Lifecycle states.  PENDING → QUEUED → DONE for the happy path; REJECTED
 # (arrival refused, queue full) and SHED (evicted from a full queue to
-# admit newer work) are the backpressure outcomes.
+# admit newer work) are the backpressure outcomes.  Under fault injection
+# three more terminal states appear: TIMED_OUT (exceeded its per-request
+# timeout while queued), DEGRADED (query completed with partial results
+# after retries were exhausted) and FAILED (retries exhausted, no result;
+# inserts are rolled back so the logical point set stays consistent).
 PENDING, QUEUED, DONE, REJECTED, SHED = "pending", "queued", "done", "rejected", "shed"
+FAILED, TIMED_OUT, DEGRADED = "failed", "timed_out", "degraded"
 
 
 @dataclass

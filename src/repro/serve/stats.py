@@ -9,6 +9,8 @@ serving metrics that closed-loop throughput cannot express:
 * goodput: completed-on-time requests per second of makespan, versus raw
   throughput;
 * backpressure outcomes: rejected / shed counts (explicit, never silent);
+* fault outcomes: failed / timed-out / degraded counts and availability
+  (the fraction of dispatched-or-expired work that produced a result);
 * batching behaviour: dispatched batch count and mean batch size.
 
 Everything is computed from simulated-clock stamps with the repo's
@@ -23,7 +25,7 @@ import json
 from dataclasses import dataclass, field
 
 from ..eval.metrics import percentile
-from .request import DONE, REJECTED, SHED
+from .request import DEGRADED, DONE, FAILED, REJECTED, SHED, TIMED_OUT
 
 __all__ = ["LatencyStats", "latency_summary"]
 
@@ -65,6 +67,14 @@ class LatencyStats:
     mean_batch: float
     # Completed-request count per request kind.
     by_kind: dict[str, int] = field(default_factory=dict)
+    # Fault outcomes (all zero on a fault-free run).
+    n_failed: int = 0               # retries exhausted, no result
+    n_timed_out: int = 0            # expired while queued
+    n_degraded: int = 0             # completed with partial results
+    # Of the requests that reached service or expired waiting (done +
+    # degraded + failed + timed out), the fraction that produced a result
+    # (full or partial).  1.0 when that population is empty.
+    availability: float = 1.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -72,16 +82,25 @@ class LatencyStats:
         done = [r for r in requests if r.status == DONE]
         rejected = [r for r in requests if r.status == REJECTED]
         shed = [r for r in requests if r.status == SHED]
+        failed = [r for r in requests if r.status == FAILED]
+        timed_out = [r for r in requests if r.status == TIMED_OUT]
+        degraded = [r for r in requests if r.status == DEGRADED]
         late = [r for r in done if not r.on_time]
+        # Latency percentiles cover every request that produced a result;
+        # a degraded answer was still delivered (late answers already
+        # count, partial ones do too).
+        answered = done + degraded
+        answered.sort(key=lambda r: r.rid)
         horizon = max((r.arrival_s for r in requests), default=0.0)
         makespan = max(
-            [horizon] + [r.complete_s for r in done]
+            [horizon] + [r.complete_s for r in answered]
         ) if requests else 0.0
         by_kind: dict[str, int] = {}
         for r in done:
             by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
         n_batches = len(batches)
         total_batched = sum(b.size for b in batches)
+        served = len(answered) + len(failed) + len(timed_out)
         return cls(
             n_offered=len(requests),
             n_done=len(done),
@@ -91,14 +110,18 @@ class LatencyStats:
             horizon_s=horizon,
             makespan_s=makespan,
             offered_rate=len(requests) / horizon if horizon > 0 else 0.0,
-            throughput=len(done) / makespan if makespan > 0 else 0.0,
+            throughput=len(answered) / makespan if makespan > 0 else 0.0,
             goodput=(len(done) - len(late)) / makespan if makespan > 0 else 0.0,
-            latency=latency_summary(r.latency_s for r in done),
-            queue=latency_summary(r.queue_s for r in done),
-            service=latency_summary(r.service_s for r in done),
+            latency=latency_summary(r.latency_s for r in answered),
+            queue=latency_summary(r.queue_s for r in answered),
+            service=latency_summary(r.service_s for r in answered),
             n_batches=n_batches,
             mean_batch=total_batched / n_batches if n_batches else 0.0,
             by_kind=dict(sorted(by_kind.items())),
+            n_failed=len(failed),
+            n_timed_out=len(timed_out),
+            n_degraded=len(degraded),
+            availability=len(answered) / served if served else 1.0,
         )
 
     # ------------------------------------------------------------------
@@ -109,6 +132,10 @@ class LatencyStats:
             "n_rejected": self.n_rejected,
             "n_shed": self.n_shed,
             "n_late": self.n_late,
+            "n_failed": self.n_failed,
+            "n_timed_out": self.n_timed_out,
+            "n_degraded": self.n_degraded,
+            "availability": self.availability,
             "horizon_s": self.horizon_s,
             "makespan_s": self.makespan_s,
             "offered_rate": self.offered_rate,
@@ -124,9 +151,12 @@ class LatencyStats:
 
     def to_json(self) -> str:
         """Canonical JSON (sorted keys, fixed separators): byte-identical
-        for identical runs."""
-        return json.dumps(self.to_dict(), sort_keys=True,
-                          separators=(",", ":"), allow_nan=True)
+        for identical runs.  Non-finite floats serialise as ``null`` —
+        bare ``NaN`` tokens are not JSON and break strict parsers."""
+        from ..obs.export import sanitize_json
+
+        return json.dumps(sanitize_json(self.to_dict()), sort_keys=True,
+                          separators=(",", ":"), allow_nan=False)
 
     # ------------------------------------------------------------------
     def table(self) -> str:
@@ -139,8 +169,16 @@ class LatencyStats:
             f"throughput {self.throughput:.1f} req/s | "
             f"goodput {self.goodput:.1f} req/s | "
             f"batches {self.n_batches} (mean size {self.mean_batch:.1f})",
-            "            p50        p90        p99        p999       max",
         ]
+        if self.n_failed or self.n_timed_out or self.n_degraded:
+            lines.append(
+                f"failed {self.n_failed} | timed out {self.n_timed_out} | "
+                f"degraded {self.n_degraded} | "
+                f"availability {self.availability * 100:.2f}%"
+            )
+        lines.append(
+            "            p50        p90        p99        p999       max"
+        )
         for label, s in (("latency", self.latency), ("queue", self.queue),
                          ("service", self.service)):
             lines.append(

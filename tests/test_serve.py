@@ -174,14 +174,32 @@ class TestBatchPolicies:
 
     def test_adaptive_degenerate_fits(self):
         g = ("knn", 10)
-        p = AdaptiveBatchPolicy()          # b <= 0: amortise to the cap
+        p = AdaptiveBatchPolicy()          # b <= 0: amortise, but clamped
         p.observe(g, 10, 5e-3)
         p.observe(g, 100, 5e-3)
-        assert p.batch_size(g, 10 ** 6) == p.max_batch
+        # A degenerate (flat) fit must not cliff-jump to max_batch: the
+        # choice is capped at 2x the largest batch observed in the window.
+        assert p.batch_size(g, 10 ** 6) == 200
         p2 = AdaptiveBatchPolicy()         # a <= 0: no overhead, serve fine
         p2.observe(g, 10, 1e-4)
         p2.observe(g, 100, 1e-3)
         assert p2.batch_size(g, 10 ** 6) == p2.min_batch
+
+    def test_adaptive_noisy_fit_clamped(self):
+        """A noisy window whose extrapolated B* overshoots the observed
+        range is clamped to 2x the largest observed batch (regression:
+        the old policy jumped straight to max_batch=4096)."""
+        g = ("knn", 10)
+        p = AdaptiveBatchPolicy(overhead_target=0.01)
+        # Huge apparent fixed overhead vs tiny marginal cost: the raw
+        # B* = ceil(a*(1-f)/(b*f)) lands far beyond anything observed.
+        p.observe(g, 4, 1.0)
+        p.observe(g, 8, 1.0 + 4e-6)
+        raw = p.batch_size(g, 10 ** 6)
+        assert raw == 16  # 2 * max observed (8), not max_batch
+        # The clamp rides up as bigger batches are actually observed.
+        p.observe(g, 16, 1.0 + 1.2e-5)
+        assert p.batch_size(g, 10 ** 6) == 32
 
     def test_adaptive_validation(self):
         with pytest.raises(ValueError):
