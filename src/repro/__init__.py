@@ -27,8 +27,11 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.obs`` — tracing/metrics for the simulator and serve runs.
 * ``repro.faults`` — seeded fault injection (crashes, storms, message
   drops) and failover/recovery for the simulated machine.
+* ``repro.balance`` — skew-aware online rebalancing: hotness tracking,
+  migration planning and charged shard migration.
 """
 
+from .balance import BalanceConfig, OnlineRebalancer
 from .baselines import CPUCostMeter, CPUCostModel, PkdTree, ZdTree
 from .core import (
     L1,
@@ -48,8 +51,10 @@ from .pim import PIMCostModel, PIMStats, PIMSystem, SimTime, upmem_scaled
 __version__ = "1.0.0"
 
 __all__ = [
+    "BalanceConfig",
     "Box",
     "CPUCostMeter",
+    "OnlineRebalancer",
     "CPUCostModel",
     "L1",
     "L2",

@@ -1,0 +1,84 @@
+"""Per-module hotness tracking: EWMA load deltas + the imbalance signal.
+
+The simulator already exposes cumulative per-module cycles
+(:meth:`repro.pim.PIMSystem.module_loads`) and resident words
+(:meth:`~repro.pim.PIMSystem.residency`); what the balancer needs is a
+*recency-weighted* view — a module that was hot an hour ago but is idle
+now must not attract migrations.  :class:`HotnessTracker` folds the
+deltas between successive :meth:`~HotnessTracker.observe` calls into an
+exponentially weighted moving average per module, and summarises the live
+modules' heat through the shared :func:`repro.workloads.imbalance_summary`
+(max/mean straggler factor + Gini), so the detector, introspect and the
+obs exports all agree on one imbalance definition.
+
+Observation is a host-side control-plane read: it charges nothing and
+mutates no simulator state, so attaching a tracker leaves every counter
+byte-identical to an untracked run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.skew import imbalance_summary
+
+__all__ = ["HotnessTracker"]
+
+
+class HotnessTracker:
+    """EWMA of per-round module load deltas (cycles by default)."""
+
+    def __init__(self, system, *, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.system = system
+        self.alpha = float(alpha)
+        self.hotness = np.zeros(system.n_modules, dtype=np.float64)
+        self._last = system.module_loads().astype(np.float64)
+        self.observations = 0
+        self.total_delta = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self) -> np.ndarray:
+        """Fold the work since the last call into the EWMA; returns the delta.
+
+        ``hot ← α·delta + (1-α)·hot`` per module.  Call once per serving
+        step (or per batch) so "hot" means *recently* hot.
+        """
+        loads = self.system.module_loads().astype(np.float64)
+        delta = loads - self._last
+        self._last = loads
+        a = self.alpha
+        self.hotness *= 1.0 - a
+        self.hotness += a * delta
+        self.observations += 1
+        self.total_delta += float(delta.sum())
+        return delta
+
+    def transfer(self, src: int, dst: int, heat: float) -> None:
+        """Project a migration into the EWMA (planner's heat estimate).
+
+        Without this, the signal that triggered a migration would stay
+        stale-hot until enough observations decayed it, re-tripping the
+        detector and ping-ponging shards.
+        """
+        h = float(min(heat, self.hotness[src]))
+        if h <= 0.0:
+            return
+        self.hotness[src] -= h
+        self.hotness[dst] += h
+
+    # ------------------------------------------------------------------
+    def live_hotness(self) -> np.ndarray:
+        """EWMA heat of live modules only (dead modules carry no load)."""
+        dead = self.system.dead_modules
+        if not dead:
+            return self.hotness
+        mask = np.ones(len(self.hotness), dtype=bool)
+        for mid in dead:
+            mask[mid] = False
+        return self.hotness[mask]
+
+    def imbalance(self) -> dict:
+        """Shared imbalance statistics of the live modules' EWMA heat."""
+        return imbalance_summary(self.live_hotness())

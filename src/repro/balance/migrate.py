@@ -1,0 +1,73 @@
+"""Charged migration executor: move chunk mastership as real BSP rounds.
+
+The UPMEM benchmarking study's central lesson is that inter-module data
+movement dominates, so migration cannot be free: every relocated chunk is
+billed through the ordinary charging interface — PIM cycles to pack the
+shard on the source and unpack on the destination, a ``recv`` draining
+the master copy to the host switch and a ``send`` installing it (plus its
+L1 replica fan-out, same approximation as failover's rebuild), one BSP
+round for the whole plan, and host CPU ops for the re-placement
+bookkeeping.  All of it lands under the ``"rebalance"`` phase, so the
+Fig. 6-style breakdown shows the rebalance tax and
+:meth:`repro.obs.Timeline.reconcile` stays bit-exact.
+
+Routing: each move re-masters the meta-node (``meta.module``) *and*
+records a persistent placement override, so re-chunking the region later
+keeps the chunk on its migrated module instead of snapping back to the
+salted hash.  Overrides compose with failover — a dead target falls
+through to the deterministic rehash (see ``PIMSystem.place``).
+
+Fault injection is suppressed for the duration (migration runs over the
+same reliable control channel as recovery), which guarantees a plan
+always completes.
+"""
+
+from __future__ import annotations
+
+from ..core.node import Layer
+from .planner import MigrationPlan
+
+__all__ = ["execute_plan"]
+
+# Host-side re-placement + override bookkeeping per moved chunk (matches
+# the failover re-placement constant, the same control-plane work).
+_MIGRATE_CPU_OPS = 24
+# PIM-core cycles per word to pack the shard on the source / unpack and
+# re-link it on the destination (streaming copy on a weak core).
+_PACK_CYCLES_PER_WORD = 1
+
+
+def execute_plan(tree, plan: MigrationPlan) -> dict:
+    """Execute ``plan`` against ``tree``; returns a summary dict.
+
+    Empty plans are free: no phase is entered, no round is opened, no
+    counter moves — the inert-config guarantee.
+    """
+    if not plan.moves:
+        return {"moves": 0, "words_moved": 0.0, "mandatory_moves": 0}
+    sys = tree.system
+    words_moved = 0.0
+    with sys.phase("rebalance"), sys.faults_suppressed():
+        sys.charge_cpu(len(plan.moves) * _MIGRATE_CPU_OPS)
+        with sys.round():
+            for mv in plan.moves:
+                meta = mv.meta
+                words = meta.size_words(tree.config)
+                replicas = (meta.replica_count()
+                            if meta.layer == Layer.L1 else 0)
+                total = words * (1 + replicas)
+                # Drain the master copy off the source module...
+                sys.charge_pim(mv.src, words * _PACK_CYCLES_PER_WORD)
+                sys.recv(mv.src, words)
+                # ...and install it (plus replica fan-out) on the dest.
+                sys.charge_pim(mv.dst, words * _PACK_CYCLES_PER_WORD)
+                sys.send(mv.dst, total)
+                meta.module = mv.dst
+                sys.set_placement_override(("meta", meta.root.nid), mv.dst)
+                words_moved += total
+        tree.refresh_residency()
+    return {
+        "moves": len(plan.moves),
+        "words_moved": float(words_moved),
+        "mandatory_moves": sum(1 for mv in plan.moves if mv.mandatory),
+    }

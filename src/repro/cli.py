@@ -9,6 +9,7 @@ Examples::
     python -m repro.cli trace --ops insert,bc-10,10-nn --out trace.json
     python -m repro.cli serve --arrival poisson --load 0.8 --out latency.json
     python -m repro.cli faults --drop-rate 0.02 --crash 3@40 --retries 3
+    python -m repro.cli balance --dataset varden --steps 24 --out balance.json
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
 report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
@@ -18,7 +19,12 @@ exactly with the simulator's counters.  ``faults`` is ``serve`` under a
 seeded :class:`repro.faults.FaultPlan`: module crashes, straggler storms
 and message drops are injected, the loop retries/fails over/degrades,
 and the report adds availability, the fault-event summary and the
-recovery phase's share of simulated time.
+recovery phase's share of simulated time.  ``balance`` attacks a
+hash-colocated hot module with an adversarial kNN stream and serves it
+twice — rebalance off, then on — reporting the throughput recovery, the
+chunk migrations and the ``"rebalance"`` phase's share of simulated
+time; ``serve``/``faults`` accept ``--rebalance`` to step the online
+rebalancer between batches of an open-loop run.
 """
 
 from __future__ import annotations
@@ -127,6 +133,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ft.add_argument("--no-degraded", action="store_true",
                       help="fail exhausted query batches instead of "
                            "completing them with partial results")
+
+    p_bl = sub.add_parser(
+        "balance",
+        help="skew-aware rebalancing demo: adversarial hot-shard workload "
+             "served with rebalance off vs on; migration + recovery report",
+    )
+    _add_common(p_bl)
+    p_bl.add_argument("--dataset", default="varden", choices=sorted(DATASETS),
+                      help="workload distribution")
+    p_bl.add_argument("--steps", type=int, default=24,
+                      help="serving steps (one request batch each) per run")
+    p_bl.add_argument("--kind", default="bc", choices=["bc", "knn"],
+                      help="request shape: box-count range scans (the "
+                           "straggler-bound regime) or kNN batches")
+    p_bl.add_argument("--k", type=int, default=10, help="k for kNN requests")
+    p_bl.add_argument("--ratio-threshold", type=float, default=1.5,
+                      help="max/mean EWMA heat ratio that trips migration")
+    p_bl.add_argument("--gini-threshold", type=float, default=0.35,
+                      help="EWMA heat Gini that trips migration")
+    p_bl.add_argument("--budget-words", type=float, default=65536.0,
+                      help="word budget per migration invocation")
+    p_bl.add_argument("--max-moves", type=int, default=8,
+                      help="chunk moves per migration invocation")
+    p_bl.add_argument("--out", type=Path, default=None,
+                      help="path for the JSON comparison report")
     return parser
 
 
@@ -167,6 +198,13 @@ def _add_serve_args(p: argparse.ArgumentParser,
                    help="path for the latency-stats JSON document")
     p.add_argument("--csv", type=Path, default=None,
                    help="path for the flat metric,value CSV")
+    p.add_argument("--rebalance", action="store_true",
+                   help="step the online rebalancer between batches "
+                        "(pim index adapters only)")
+    p.add_argument("--rebalance-ratio", type=float, default=1.5,
+                   help="max/mean EWMA heat ratio that trips migration")
+    p.add_argument("--rebalance-budget", type=float, default=0.05,
+                   help="rebalance time budget as a fraction of service time")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -204,7 +242,7 @@ def _run_trace(args: argparse.Namespace) -> int:
     from .eval import phase_breakdown_table, run_suite
     from .eval.experiments import _dataset
     from .eval.harness import PIMZdTreeAdapter
-    from .obs import TraceCollector, timeline_csv, write_trace
+    from .obs import TraceCollector, load_summary, timeline_csv, write_trace
 
     n = args.n or 20_000
     batch = args.batch or 256
@@ -244,6 +282,14 @@ def _run_trace(args: argparse.Namespace) -> int:
     print(f"\nevents emitted: {tracer.seq} (retained {len(tracer.events())}, "
           f"dropped {tracer.dropped}); rounds: {tracer.rounds_seen}")
 
+    load = load_summary(tracer, residency=adapter.system.residency())
+    cyc, res = load["cycles"], load["resident_words"]
+    print(f"module load: cycles max/mean x{cyc['max_mean_ratio']:.2f} "
+          f"gini={cyc['gini']:.3f}; resident words max/mean "
+          f"x{res['max_mean_ratio']:.2f} gini={res['gini']:.3f}")
+    if tracer.capacity_events:
+        print(f"capacity-pressure events: {len(tracer.capacity_events)}")
+
     problems = tracer.timeline.reconcile(adapter.system.stats)
     if problems:
         print("RECONCILIATION FAILED:")
@@ -255,13 +301,51 @@ def _run_trace(args: argparse.Namespace) -> int:
     if args.out is not None or args.csv is not None:
         write_trace(tracer, json_path=args.out, csv_path=args.csv,
                     stats=adapter.system.stats,
-                    include_events=not args.no_events)
+                    include_events=not args.no_events,
+                    residency=adapter.system.residency())
         for path in (args.out, args.csv):
             if path is not None:
                 print(f"wrote {path}")
     elif args.csv is None and args.out is None:
         print("\n" + timeline_csv(tracer))
     return 1 if problems else 0
+
+
+def _make_rebalancer(args: argparse.Namespace, adapter):
+    """Build the online rebalancer for ``--rebalance`` (or return None).
+
+    Returns the sentinel ``2`` (the CLI usage-error exit code) when the
+    flag is set on an adapter without a PIM tree to rebalance.
+    """
+    if not getattr(args, "rebalance", False):
+        return None
+    if not hasattr(adapter, "tree"):
+        print(f"error: --rebalance requires a pim index adapter "
+              f"(got {args.index!r})")
+        return 2
+    from .balance import BalanceConfig, OnlineRebalancer
+
+    cfg = BalanceConfig(ratio_threshold=args.rebalance_ratio,
+                        budget_fraction=args.rebalance_budget)
+    return OnlineRebalancer(adapter.tree, cfg)
+
+
+def _report_rebalance(loop, rebalancer, adapter) -> None:
+    """Print the rebalance summary of one serve/faults run."""
+    if rebalancer is None:
+        return
+    print(f"\nrebalance: {loop.rebalance_steps} steps, "
+          f"{rebalancer.migrations} chunk moves, "
+          f"{rebalancer.words_moved:,.0f} words moved "
+          f"({loop.rebalance_time_s * 1e3:.3f}ms of simulated time)")
+    stats = adapter.system.stats
+    reb = stats.phases.get("rebalance")
+    if reb is not None:
+        t = adapter.tree.cost_model.time(reb)
+        total_t = adapter.tree.cost_model.time(stats.total)
+        share = 100.0 * t.total_s / total_t.total_s if total_t.total_s else 0.0
+        print(f"rebalance phase: {t.total_s * 1e3:.3f}ms simulated "
+              f"({share:.2f}% of total sim time)")
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -323,16 +407,20 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
 
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+    rebalancer = _make_rebalancer(args, adapter)
+    if rebalancer == 2:
+        return 2
     policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
               else AdaptiveBatchPolicy())
     loop = ServeLoop(adapter,
                      AdmissionQueue(args.queue_depth, overflow=args.overflow),
-                     policy)
+                     policy, rebalancer=rebalancer)
     result = loop.run(requests)
 
     print(f"=== serve — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
           f"{args.arrival} arrivals, {args.policy} batching ===")
     print(result.stats.table())
+    _report_rebalance(loop, rebalancer, adapter)
     if args.out is not None or args.csv is not None:
         write_latency(result.stats, json_path=args.out, csv_path=args.csv,
                       batches=result.batches)
@@ -425,6 +513,9 @@ def _run_faults(args: argparse.Namespace) -> int:
     tracer = TraceCollector()
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
                            fault_plan=plan, tracer=tracer)
+    rebalancer = _make_rebalancer(args, adapter)
+    if rebalancer == 2:
+        return 2
     policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
               else AdaptiveBatchPolicy())
     loop = ServeLoop(
@@ -433,12 +524,14 @@ def _run_faults(args: argparse.Namespace) -> int:
         timeout_s=(args.timeout_ms * 1e-3 if args.timeout_ms is not None
                    else None),
         degraded_mode=not args.no_degraded, failover=not args.no_failover,
+        rebalancer=rebalancer,
     )
     result = loop.run(requests)
 
     print(f"=== faults — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
           f"{args.arrival} arrivals, {args.policy} batching ===")
     print(result.stats.table())
+    _report_rebalance(loop, rebalancer, adapter)
 
     summary = plan.summary()
     dead = sorted(adapter.system.dead_modules)
@@ -472,6 +565,116 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _run_balance(args: argparse.Namespace) -> int:
+    """The ``balance`` subcommand: rebalance-off vs rebalance-on serving."""
+    from .balance import BalanceConfig, OnlineRebalancer
+    from .eval.experiments import _dataset
+    from .eval.harness import PIMZdTreeAdapter
+    from .eval.skewbench import (
+        boxes_under_metas,
+        hottest_colocated_metas,
+        queries_under_metas,
+        steady_state_throughput,
+        throughput_timeline,
+    )
+    from .obs import TraceCollector
+    from .workloads import bin_points, gini_coefficient
+
+    n = args.n or 16_000
+    batch = args.batch or 64
+    n_modules = args.n_modules or 16
+    seed = args.seed if args.seed is not None else 8
+    if args.steps < 2:
+        print("error: --steps must be >= 2")
+        return 2
+
+    data = _dataset(args.dataset, n, seed)
+    gini = gini_coefficient(bin_points(data))
+    cfg = BalanceConfig(
+        ratio_threshold=args.ratio_threshold,
+        gini_threshold=args.gini_threshold,
+        budget_words=args.budget_words,
+        max_moves=args.max_moves,
+        seed=seed,
+    )
+
+    def build():
+        tracer = TraceCollector()
+        adapter = PIMZdTreeAdapter(data, n_modules=n_modules, seed=seed,
+                                   tracer=tracer)
+        return adapter, tracer
+
+    # Construction is deterministic, so both runs see the same layout and
+    # the same adversarial query stream.
+    adapter_off, tracer_off = build()
+    hot_mid, hot_metas = hottest_colocated_metas(adapter_off.tree)
+    if args.kind == "bc":
+        queries = boxes_under_metas(adapter_off.tree, hot_metas,
+                                    max(batch, 256), seed=seed + 1)
+    else:
+        queries = queries_under_metas(adapter_off.tree, hot_metas,
+                                      max(batch, 1024), seed=seed + 1)
+    print(f"=== balance — {args.dataset} (gini={gini:.3f}), n={n}, "
+          f"P={n_modules}, kind={args.kind}, batch={batch}, "
+          f"steps={args.steps} ===")
+    print(f"attacking module {hot_mid}: {len(hot_metas)} colocated chunks, "
+          f"{sum(m.root.count for m in hot_metas):,} points under them")
+
+    rows_off = throughput_timeline(adapter_off, queries, steps=args.steps,
+                                   batch=batch, k=args.k, kind=args.kind)
+    adapter_on, tracer_on = build()
+    rebalancer = OnlineRebalancer(adapter_on.tree, cfg)
+    rows_on = throughput_timeline(adapter_on, queries, steps=args.steps,
+                                  batch=batch, k=args.k, kind=args.kind,
+                                  rebalancer=rebalancer)
+
+    off = steady_state_throughput(rows_off)
+    on = steady_state_throughput(rows_on)
+    speedup = on / off if off > 0 else float("inf")
+    print(f"\n{'step':>4} {'off req/s':>12} {'on req/s':>12} {'moves':>6}")
+    for a, b in zip(rows_off, rows_on):
+        print(f"{a['step']:>4} {a['throughput']:>12.0f} "
+              f"{b['throughput']:>12.0f} {b['migrations']:>6}")
+    print(f"\nsteady-state throughput (trailing half): "
+          f"off {off:,.0f} req/s, on {on:,.0f} req/s — {speedup:.2f}x")
+    print(f"migrations: {rebalancer.migrations} chunk moves, "
+          f"{rebalancer.words_moved:,.0f} words, "
+          f"{len(rebalancer.history)} invocations")
+
+    stats = adapter_on.system.stats
+    reb = stats.phases.get("rebalance")
+    if reb is not None:
+        t = adapter_on.tree.cost_model.time(reb)
+        total_t = adapter_on.tree.cost_model.time(stats.total)
+        share = 100.0 * t.total_s / total_t.total_s if total_t.total_s else 0.0
+        print(f"rebalance phase: {t.total_s * 1e3:.3f}ms simulated "
+              f"({share:.2f}% of total sim time)")
+
+    problems = (tracer_off.timeline.reconcile(adapter_off.system.stats)
+                + tracer_on.timeline.reconcile(adapter_on.system.stats))
+    print("traces reconcile exactly" if not problems
+          else f"RECONCILIATION FAILED: {problems}")
+
+    if args.out is not None:
+        from .obs import sanitize_json
+
+        doc = sanitize_json({
+            "format": "repro.obs/balance-1",
+            "dataset": args.dataset, "gini": gini, "n": n,
+            "n_modules": n_modules, "kind": args.kind,
+            "batch": batch, "k": args.k,
+            "hot_module": int(hot_mid),
+            "hot_chunks": len(hot_metas),
+            "timeline_off": rows_off, "timeline_on": rows_on,
+            "steady_state": {"off": off, "on": on, "speedup": speedup},
+            "migrations": rebalancer.history,
+            "reconciliation": {"exact": not problems, "problems": problems},
+        })
+        args.out.write_text(json.dumps(doc, indent=2, allow_nan=False))
+        print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -490,6 +693,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return _run_faults(args)
+
+    if args.command == "balance":
+        return _run_balance(args)
 
     if args.command == "all":
         kwargs = _kwargs_from(args)

@@ -45,6 +45,7 @@ class MetaNode:
         "n_nodes",
         "payload_words",
         "l1_desc_metas",
+        "hot_hits",
     )
 
     def __init__(self, root: Node, module: int) -> None:
@@ -58,6 +59,10 @@ class MetaNode:
         # Number of L1 meta-nodes strictly below this one (for replication
         # accounting: an L1 meta is cached by its L1 ancestors/descendants).
         self.l1_desc_metas = 0
+        # Tasks dispatched to this meta's module on its behalf (maintained
+        # by the push-pull executor, decayed by the rebalancer).  Pure
+        # host-side popularity signal — never charged.
+        self.hot_hits = 0
 
     # -- practical chunking (§6) ----------------------------------------
     def dense(self, config: PIMZdTreeConfig) -> bool:

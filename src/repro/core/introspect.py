@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..workloads.skew import gini_coefficient, max_mean_ratio
 from .node import Layer
 
 __all__ = ["TreeStats", "tree_stats"]
@@ -42,6 +43,7 @@ class TreeStats:
     host_l0_words: float
     module_master_words: np.ndarray = field(repr=False, default=None)
     placement_imbalance: float = 0.0
+    placement_gini: float = 0.0
 
     def summary(self) -> str:
         lines = [
@@ -60,7 +62,7 @@ class TreeStats:
             f"space: master {self.master_words:,.0f}w + cache "
             f"{self.cache_words:,.0f}w + host L0 {self.host_l0_words:,.0f}w",
             f"placement imbalance (max/mean master words): "
-            f"x{self.placement_imbalance:.2f}",
+            f"x{self.placement_imbalance:.2f}  gini={self.placement_gini:.3f}",
         ]
         return "\n".join(lines)
 
@@ -99,7 +101,6 @@ def tree_stats(tree) -> TreeStats:
             replica_copies += m.replica_count()
 
     module_master = np.array([mod.master_words for mod in tree.system.modules])
-    mean = module_master.mean() if module_master.size else 0.0
     space = tree.space_words()
     return TreeStats(
         n_points=tree.size,
@@ -119,5 +120,8 @@ def tree_stats(tree) -> TreeStats:
         cache_words=space["cache"],
         host_l0_words=space["host_l0"],
         module_master_words=module_master,
-        placement_imbalance=float(module_master.max() / mean) if mean > 0 else 0.0,
+        # Shared definitions from workloads.skew, so introspect, the obs
+        # exports and repro.balance agree on one imbalance measure.
+        placement_imbalance=max_mean_ratio(module_master),
+        placement_gini=gini_coefficient(module_master),
     )

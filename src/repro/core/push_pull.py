@@ -228,6 +228,9 @@ class PushPullExecutor:
                         self.pulled_tasks += len(ts)
                         continue
                     self.pushed_tasks += len(ts)
+                    # Popularity signal for repro.balance victim selection:
+                    # count the tasks this meta drew onto its module.
+                    meta.hot_hits += len(ts)
                     self.sys.charge_pim(meta.module, PIM_TASK_DISPATCH_CYCLES)
                     if group_kernel is not None:
                         self.sys.send(

@@ -20,6 +20,7 @@ from ..workloads import (
     cosmos_like_points,
     osm_like_points,
     uniform_points,
+    varden_points,
     zipf_mix_queries,
 )
 from .harness import (
@@ -51,6 +52,7 @@ DATASETS: dict[str, Callable] = {
     "uniform": uniform_points,
     "cosmos": cosmos_like_points,
     "osm": osm_like_points,
+    "varden": varden_points,
 }
 
 

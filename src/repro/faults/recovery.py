@@ -34,6 +34,7 @@ def fail_over(tree, dead_mid: int) -> dict:
     re-placed and the total words re-uploaded.  Idempotent: failing over
     an already-dead module with no resident meta-nodes is a cheap no-op.
     """
+    from ..balance.planner import choose_destination
     from ..core.chunking import MetaNode  # noqa: F401 (documentation import)
     from ..core.node import Layer
 
@@ -49,8 +50,13 @@ def fail_over(tree, dead_mid: int) -> dict:
             sys.charge_cpu(len(moved) * _REPLACE_CPU_OPS)
             with sys.round():
                 for meta in moved:
-                    meta.module = sys.place(("meta", meta.root.nid))
                     words = meta.size_words(tree.config)
+                    # Capacity-aware re-placement: identical to the plain
+                    # salted-hash place() unless the hashed module's
+                    # capacity budget would be violated (repro.balance).
+                    meta.module = choose_destination(
+                        sys, ("meta", meta.root.nid), words=words
+                    )
                     replicas = (meta.replica_count()
                                 if meta.layer == Layer.L1 else 0)
                     total = words * (1 + replicas)

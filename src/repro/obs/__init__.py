@@ -28,6 +28,7 @@ Driven from the CLI via ``python -m repro.cli trace`` (JSON/CSV export).
 from .export import (
     latency_csv,
     latency_json,
+    load_summary,
     sanitize_json,
     timeline_csv,
     timeline_json,
@@ -46,6 +47,7 @@ __all__ = [
     "TraceEvent",
     "latency_csv",
     "latency_json",
+    "load_summary",
     "sanitize_json",
     "timeline_csv",
     "timeline_json",

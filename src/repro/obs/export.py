@@ -19,6 +19,7 @@ from .trace import TraceCollector
 __all__ = [
     "timeline_csv",
     "timeline_json",
+    "load_summary",
     "write_trace",
     "latency_json",
     "latency_csv",
@@ -38,13 +39,39 @@ _PHASE_COLUMNS = (
 )
 
 
+def load_summary(collector: TraceCollector, *, residency=None) -> dict:
+    """Per-module load-distribution statistics of a collected trace.
+
+    Summarises the distribution of cumulative PIM cycles over the traced
+    modules — and, when the caller passes the system's per-module
+    ``residency()`` vector, of resident words — through the shared
+    :func:`repro.workloads.imbalance_summary` (max/mean straggler factor
+    + Gini), the same definition ``repro.balance`` and introspect use.
+    """
+    import numpy as np
+
+    from ..workloads.skew import imbalance_summary
+
+    mods = collector.timeline.modules
+    cycles = np.array(
+        [mods[mid].cycles for mid in sorted(mods)], dtype=np.float64
+    )
+    doc = {"n_modules": len(cycles), "cycles": imbalance_summary(cycles)}
+    if residency is not None:
+        doc["resident_words"] = imbalance_summary(
+            np.asarray(residency, dtype=np.float64)
+        )
+    return doc
+
+
 def timeline_json(collector: TraceCollector, *, stats=None,
-                  include_events: bool = True) -> dict:
+                  include_events: bool = True, residency=None) -> dict:
     """Build the JSON-serialisable trace document."""
     doc: dict = {
         "format": "repro.obs/1",
         "timeline": collector.timeline.to_dict(),
         "rounds": [r.to_dict() for r in collector.rounds()],
+        "load": load_summary(collector, residency=residency),
         "ring": {
             "capacity": collector.capacity,
             "emitted": collector.seq,
@@ -56,6 +83,8 @@ def timeline_json(collector: TraceCollector, *, stats=None,
         doc["events"] = [e.to_dict() for e in collector.events()]
     if collector.fault_events:
         doc["faults"] = [ev.to_dict() for ev in collector.fault_events]
+    if collector.capacity_events:
+        doc["capacity_events"] = list(collector.capacity_events)
     if stats is not None:
         problems = collector.timeline.reconcile(stats)
         doc["reconciliation"] = {"exact": not problems, "problems": problems}
@@ -79,9 +108,11 @@ def timeline_csv(collector: TraceCollector) -> str:
 
 
 def write_trace(collector: TraceCollector, json_path=None, csv_path=None, *,
-                stats=None, include_events: bool = True) -> dict:
+                stats=None, include_events: bool = True,
+                residency=None) -> dict:
     """Write the JSON and/or CSV exports; returns the JSON document."""
-    doc = timeline_json(collector, stats=stats, include_events=include_events)
+    doc = timeline_json(collector, stats=stats, include_events=include_events,
+                        residency=residency)
     if json_path is not None:
         Path(json_path).write_text(json.dumps(doc, indent=2))
     if csv_path is not None:

@@ -36,8 +36,9 @@ class EventKind:
     RECV = "recv"  # value = words module `mid` → CPU (raw)
     ROUND = "round"  # value = straggler cycles; aux = total words
     FAULT = "fault"  # value = words lost / slow factor (injected fault)
+    CAPACITY = "capacity"  # value = used words; aux = capacity_words
 
-    ALL = (CPU, DRAM, COMM_FLAT, PIM, SEND, RECV, ROUND, FAULT)
+    ALL = (CPU, DRAM, COMM_FLAT, PIM, SEND, RECV, ROUND, FAULT, CAPACITY)
 
 
 @dataclass(slots=True)
@@ -144,6 +145,10 @@ class TraceCollector:
         # Injected fault events (repro.faults.FaultEvent), never dropped:
         # faults are rare and each one explains an anomaly in the rounds.
         self.fault_events: list = []
+        # Capacity-pressure onsets (dicts), never dropped: rare by
+        # construction (only the crossing allocation fires) and each one
+        # marks a module the balance planner must drain.
+        self.capacity_events: list[dict] = []
 
     # -- ring -----------------------------------------------------------
     @property
@@ -213,6 +218,23 @@ class TraceCollector:
         self._emit(EventKind.FAULT, phase, event.mid, event.round_index,
                    event.value)
         self.fault_events.append(event)
+
+    # -- capacity pressure -------------------------------------------------
+    def on_capacity(self, phase: str, mid: int, used: float,
+                    capacity: float) -> None:
+        """Record one capacity-pressure onset (module crossed its budget).
+
+        Like faults, capacity events are *recorded*, never booked: no
+        counter moves, so reconciliation stays exact.  The planner in
+        ``repro.balance`` reads :attr:`capacity_events` to treat
+        over-budget modules as mandatory migration sources.
+        """
+        self._emit(EventKind.CAPACITY, phase, mid, self.rounds_seen,
+                   used, capacity)
+        self.capacity_events.append(
+            {"phase": phase, "mid": int(mid), "round": self.rounds_seen,
+             "used_words": float(used), "capacity_words": float(capacity)}
+        )
 
     # -- round close ------------------------------------------------------
     def on_round(self, rec: RoundRecord) -> None:

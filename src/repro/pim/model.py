@@ -104,6 +104,9 @@ class PIMSystem:
         self.modules = [
             PIMModule(mid, module_capacity_words) for mid in range(self.n_modules)
         ]
+        if module_capacity_words is not None:
+            for m in self.modules:
+                m.pressure_cb = self._capacity_pressure
         self.llc = LRUCache(max(1, llc_bytes // 64), words_per_block=_WORDS_PER_BLOCK)
         self.stats = PIMStats()
         self.seed = seed
@@ -116,6 +119,13 @@ class PIMSystem:
         self._trace = tracer
         self._faults = fault_plan
         self._dead: set[int] = set()  # decommissioned module ids
+        # Persistent placement overrides (repro.balance migrations): maps
+        # the canonical key encoding to a module id.  Consulted by place()
+        # before the salted hash; an override whose target died is ignored
+        # (the deterministic fault-rehash path takes over), so migration
+        # and failover compose.  Empty by default — one truthiness test on
+        # the hot path, byte-identical placement when no migration ran.
+        self._place_overrides: dict[bytes, int] = {}
 
     # ------------------------------------------------------------------
     # tracing
@@ -241,13 +251,23 @@ class PIMSystem:
         containers recursively) so placement is independent of the caller's
         dtype and of the installed NumPy version's repr conventions.
 
+        Placement overrides (recorded by ``repro.balance`` migrations via
+        :meth:`set_placement_override`) take precedence over the hash while
+        their target module is live; a dead target falls through to the
+        hash-plus-rehash path below, so an override never routes to a
+        decommissioned module and fault recovery composes with migration.
+
         Dead modules are excluded by deterministic rehashing: attempt 0 is
         the plain salted hash (byte-identical to the fault-free layout),
         and each further attempt mixes an attempt counter into the digest
         until a live module is hit — so failover re-placement is itself a
-        pure function of (key, seed, dead set).
+        pure function of (key, seed, dead set, overrides).
         """
         data = repr(_canonical_key(key)).encode()
+        if self._place_overrides:
+            mid = self._place_overrides.get(data)
+            if mid is not None and mid not in self._dead:
+                return mid
         digest = hashlib.blake2b(
             data, key=self._salt[:16], digest_size=8
         ).digest()
@@ -262,6 +282,56 @@ class PIMSystem:
             ).digest()
             mid = int.from_bytes(digest, "little") % self.n_modules
         return mid
+
+    def set_placement_override(self, key, mid: int) -> None:
+        """Pin ``key``'s placement to module ``mid`` (migration routing).
+
+        The override persists across rechunks and failovers: any later
+        :meth:`place` call with the same (canonicalised) key routes to
+        ``mid`` while it is live, and falls back to the deterministic
+        rehash once it dies.  Host-side control-plane state: recording an
+        override charges nothing.
+        """
+        mid = int(mid)
+        if not 0 <= mid < self.n_modules:
+            raise ValueError(f"override target {mid} out of range")
+        if mid in self._dead:
+            raise ValueError(f"cannot pin placement to dead module {mid}")
+        self._place_overrides[repr(_canonical_key(key)).encode()] = mid
+
+    def clear_placement_override(self, key) -> None:
+        """Drop ``key``'s override (placement reverts to the salted hash)."""
+        self._place_overrides.pop(repr(_canonical_key(key)).encode(), None)
+
+    @property
+    def n_placement_overrides(self) -> int:
+        return len(self._place_overrides)
+
+    def _capacity_pressure(self, module: PIMModule) -> None:
+        """A module allocation crossed ``capacity_words`` — record it.
+
+        Capacity pressure is *recorded*, never booked (like fault events):
+        the event reaches an attached ``repro.obs`` collector so dashboards
+        and the rebalance planner can see it, but no counter moves, so
+        reconciliation stays bit-exact.
+        """
+        if self._trace is not None:
+            on_capacity = getattr(self._trace, "on_capacity", None)
+            if on_capacity is not None:
+                on_capacity(
+                    self.current_phase, module.mid,
+                    module.used_words, float(module.capacity_words),
+                )
+
+    def over_capacity_modules(self) -> list[int]:
+        """Ids of live modules whose residency exceeds ``capacity_words``.
+
+        These are mandatory migration sources for the
+        :class:`repro.balance` planner.
+        """
+        return [
+            m.mid for m in self.modules if not m.failed and m.over_capacity()
+        ]
 
     # ------------------------------------------------------------------
     # phases

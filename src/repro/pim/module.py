@@ -28,11 +28,17 @@ class PIMModule:
         "master_words",
         "cache_words",
         "failed",
+        "pressure_cb",
     )
 
     def __init__(self, mid: int, capacity_words: int | None = None) -> None:
         self.mid = mid
         self.capacity_words = capacity_words
+        # Capacity-pressure callback, set by the owning PIMSystem: invoked
+        # (with this module) the moment an allocation crosses
+        # capacity_words.  None (or capacity_words None) keeps the alloc
+        # fast path a single attribute test.
+        self.pressure_cb = None
         # Set by PIMSystem.decommission when a fault plan (or a manual
         # kill) crashes this module; a failed module holds nothing and
         # any charge addressed to it raises ModuleFailure.
@@ -90,6 +96,8 @@ class PIMModule:
 
     def alloc_master(self, words: float) -> None:
         self.master_words += words
+        if self.capacity_words is not None:
+            self._check_pressure(words)
 
     def free_master(self, words: float) -> None:
         self.master_words -= words
@@ -98,6 +106,20 @@ class PIMModule:
 
     def alloc_cache(self, words: float) -> None:
         self.cache_words += words
+        if self.capacity_words is not None:
+            self._check_pressure(words)
+
+    def _check_pressure(self, delta: float) -> None:
+        """Fire the capacity-pressure callback on the crossing allocation.
+
+        Only the allocation that pushes ``used_words`` past
+        ``capacity_words`` fires (not every later allocation while over),
+        so the event stream marks pressure onsets, not a steady drone.
+        """
+        if (self.pressure_cb is not None
+                and self.used_words > self.capacity_words
+                and self.used_words - delta <= self.capacity_words):
+            self.pressure_cb(self)
 
     def free_cache(self, words: float) -> None:
         self.cache_words -= words

@@ -88,18 +88,20 @@ def serve(adapter, requests, *, queue_depth: int = 1024,
           overflow: str = "reject", policy=None,
           max_retries: int = 3, backoff_s: float = 1e-4,
           timeout_s: float | None = None, degraded_mode: bool = True,
-          failover: bool = True) -> ServeResult:
+          failover: bool = True, rebalancer=None) -> ServeResult:
     """One-call serve run: build the queue and loop, serve ``requests``.
 
     The fault-resilience knobs (``max_retries``, ``backoff_s``,
     ``timeout_s``, ``degraded_mode``, ``failover``) are forwarded to
     :class:`ServeLoop`; all are inert on a fault-free adapter except
     ``timeout_s``, which expires over-age queued requests regardless.
+    ``rebalancer`` (a :class:`repro.balance.OnlineRebalancer`) enables
+    budget-capped background migration between batches.
     """
     if policy is None:
         policy = AdaptiveBatchPolicy()
     loop = ServeLoop(adapter, AdmissionQueue(queue_depth, overflow=overflow),
                      policy, max_retries=max_retries, backoff_s=backoff_s,
                      timeout_s=timeout_s, degraded_mode=degraded_mode,
-                     failover=failover)
+                     failover=failover, rebalancer=rebalancer)
     return loop.run(requests)

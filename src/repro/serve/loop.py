@@ -112,12 +112,20 @@ class ServeLoop:
     failover:
         Rebuild a dead module's shard on the first ModuleFailure naming
         it (disable to study unrecovered degradation).
+    rebalancer:
+        A :class:`repro.balance.OnlineRebalancer` stepped between batches
+        (``None`` disables — the default, with zero behavioral change).
+        Rebalance work runs on the same virtual clock: each step is
+        measured and its simulated seconds advance ``now``; cumulative
+        rebalance time is capped at the rebalancer's ``budget_fraction``
+        of cumulative service time, so migration is amortised against the
+        work it speeds up.
     """
 
     def __init__(self, adapter, queue: AdmissionQueue, policy, *,
                  max_retries: int = 3, backoff_s: float = 1e-4,
                  timeout_s: float | None = None, degraded_mode: bool = True,
-                 failover: bool = True) -> None:
+                 failover: bool = True, rebalancer=None) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if backoff_s < 0:
@@ -132,7 +140,12 @@ class ServeLoop:
         self.timeout_s = timeout_s
         self.degraded_mode = bool(degraded_mode)
         self.failover = bool(failover)
+        self.rebalancer = rebalancer
         self._recovered: set[int] = set()  # modules already failed over
+        # Cumulative virtual seconds: service vs rebalance (budget gate).
+        self.service_time_s = 0.0
+        self.rebalance_time_s = 0.0
+        self.rebalance_steps = 0
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeResult:
@@ -184,6 +197,25 @@ class ServeLoop:
                 self.queue.offer(pending[i], pending[i].arrival_s)
                 i += 1
             now = end
+            self.service_time_s += service_s
+            # Background rebalance between batches, inside the time
+            # budget.  The step runs on the virtual clock: its measured
+            # simulated seconds advance `now` and delay queued requests —
+            # migration is not free, it is amortised.
+            if self.rebalancer is not None:
+                frac = getattr(self.rebalancer, "budget_fraction", 0.05)
+                if self.rebalance_time_s <= frac * self.service_time_s:
+                    m = self.adapter.measure(
+                        lambda: 0 if self.rebalancer.step() is None else 1
+                    )
+                    self.rebalance_steps += 1
+                    if m.sim_time_s > 0.0:
+                        self.rebalance_time_s += m.sim_time_s
+                        end = now + m.sim_time_s
+                        while i < n and pending[i].arrival_s <= end:
+                            self.queue.offer(pending[i], pending[i].arrival_s)
+                            i += 1
+                        now = end
         return ServeResult(requests=pending, batches=batches)
 
     # ------------------------------------------------------------------

@@ -8,7 +8,14 @@ from .generators import (
     varden_points,
     zipf_mix_queries,
 )
-from .skew import bin_points, gini_coefficient, max_alpha, zipf_exponent_fit
+from .skew import (
+    bin_points,
+    gini_coefficient,
+    imbalance_summary,
+    max_alpha,
+    max_mean_ratio,
+    zipf_exponent_fit,
+)
 
 __all__ = [
     "bin_points",
@@ -16,7 +23,9 @@ __all__ = [
     "cosmos_like_points",
     "diurnal_arrivals",
     "gini_coefficient",
+    "imbalance_summary",
     "max_alpha",
+    "max_mean_ratio",
     "osm_like_points",
     "poisson_arrivals",
     "uniform_points",

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["gini_coefficient", "bin_points", "zipf_exponent_fit", "max_alpha"]
+__all__ = [
+    "gini_coefficient",
+    "bin_points",
+    "zipf_exponent_fit",
+    "max_alpha",
+    "max_mean_ratio",
+    "imbalance_summary",
+]
 
 
 def bin_points(points: np.ndarray, n_bins: int = 2048,
@@ -60,6 +67,46 @@ def gini_coefficient(counts_or_points: np.ndarray, n_bins: int = 2048) -> float:
     lorenz = cum / cum[-1]
     b = (lorenz.sum() - lorenz[-1] / 2.0) / n
     return float(1.0 - 2.0 * b)
+
+
+def max_mean_ratio(counts: np.ndarray) -> float:
+    """Max-over-mean of a load vector (the straggler factor).
+
+    The canonical imbalance measure of the Fig. 9 experiments: a value of
+    1.0 is a perfectly balanced system; x means the busiest element carries
+    x times the average.  Empty or all-zero vectors report 0.0 (no load,
+    no imbalance).  Every imbalance number in the codebase — introspect's
+    placement imbalance, the obs per-module exports and the
+    ``repro.balance`` detector — is computed through this one definition.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = float(arr.mean())
+    if mean <= 0.0:
+        return 0.0
+    return float(arr.max() / mean)
+
+
+def imbalance_summary(counts: np.ndarray) -> dict:
+    """Shared imbalance statistics of one load vector.
+
+    Returns ``{"max_mean_ratio", "gini", "max", "mean", "total"}`` — the
+    common denominator used by ``repro.balance`` (detector thresholds),
+    ``repro.core.introspect`` (placement stats) and ``repro.obs.export``
+    (per-module load distributions), so all three agree on one definition.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        return {"max_mean_ratio": 0.0, "gini": 0.0, "max": 0.0,
+                "mean": 0.0, "total": 0.0}
+    return {
+        "max_mean_ratio": max_mean_ratio(arr),
+        "gini": gini_coefficient(arr),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "total": float(arr.sum()),
+    }
 
 
 def zipf_exponent_fit(counts: np.ndarray, top_fraction: float = 0.2) -> float:

@@ -114,6 +114,46 @@ class TestCommunication:
         assert d.comm_words < 600 * 40
 
 
+class TestPullImbalanceTrigger:
+    """Alg. 1 step 2: the ``pull_imbalance_factor`` path under Varden skew."""
+
+    def _varden_hot_run(self, factor, seed=5):
+        from repro.workloads import varden_points
+
+        pts = varden_points(6000, 3, seed=seed)
+        tree = make_tree(pts, "skew", n_modules=8, seed=seed,
+                         pull_imbalance_factor=factor)
+        # Strike the single densest point: one module's L1 meta-nodes draw
+        # essentially the whole batch, the definition of a straggler.
+        hot = np.tile(pts[0], (600, 1))
+        base = tree.system.module_loads().copy()
+        tree.search(hot)
+        loads = tree.system.module_loads() - base
+        return tree.last_executor, loads
+
+    def test_imbalance_factor_path_fires_under_varden_skew(self):
+        ex, _ = self._varden_hot_run(factor=1.0)
+        assert ex.pulled_metas > 0
+        assert ex.pulled_tasks > 0
+
+    def test_counters_reconcile(self):
+        """Every task is routed exactly one way; nothing is double-counted."""
+        ex, _ = self._varden_hot_run(factor=1.0)
+        assert ex.pushed_tasks + ex.pulled_tasks >= 600  # roots at minimum
+        assert ex.rounds_executed > 0
+        assert ex.pulled_metas <= ex.pulled_tasks  # >=1 task per pulled meta
+
+    def test_disabling_the_factor_disables_l1_pulls(self):
+        aggressive, _ = self._varden_hot_run(factor=1.0)
+        never, _ = self._varden_hot_run(factor=float("inf"))
+        assert never.pulled_tasks < aggressive.pulled_tasks
+
+    def test_pulls_cap_the_varden_straggler(self):
+        _, with_pulls = self._varden_hot_run(factor=1.0)
+        _, without = self._varden_hot_run(factor=float("inf"))
+        assert with_pulls.max() <= without.max()
+
+
 class TestLoadBalance:
     def test_uniform_batch_balanced_whp(self, rng):
         """Lemma 5.2 behaviour: random placement balances uniform load."""
