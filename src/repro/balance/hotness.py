@@ -61,7 +61,24 @@ class HotnessTracker:
         Without this, the signal that triggered a migration would stay
         stale-hot until enough observations decayed it, re-tripping the
         detector and ping-ponging shards.
+
+        Guards: out-of-range module ids raise (a plan referencing a
+        module the system doesn't have is a bug, not a race); a
+        self-transfer is a no-op; and a dead ``dst`` is a no-op — a stale
+        plan executed after a crash must not park heat on a
+        decommissioned module, where no observation would ever decay it
+        back out.
         """
+        src, dst = int(src), int(dst)
+        n = len(self.hotness)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(
+                f"transfer {src}->{dst} out of range for {n} modules"
+            )
+        if src == dst:
+            return
+        if dst in self.system.dead_modules:
+            return
         h = float(min(heat, self.hotness[src]))
         if h <= 0.0:
             return

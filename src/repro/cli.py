@@ -134,6 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="fail exhausted query batches instead of "
                            "completing them with partial results")
 
+    p_sw = sub.add_parser(
+        "sweep",
+        help="paper-scale sharded serve sweep: split the offered load "
+             "across worker processes (independent replicas), merge "
+             "latency/throughput stats",
+    )
+    _add_serve_args(p_sw)
+    p_sw.add_argument("--procs", type=int, default=None,
+                      help="worker processes / shards "
+                           "(default: cpu count, capped at 8; 1 = inline)")
+    p_sw.set_defaults(requests=1_000_000, queue_depth=4096)
+
     p_bl = sub.add_parser(
         "balance",
         help="skew-aware rebalancing demo: adversarial hot-shard workload "
@@ -205,6 +217,10 @@ def _add_serve_args(p: argparse.ArgumentParser,
                    help="max/mean EWMA heat ratio that trips migration")
     p.add_argument("--rebalance-budget", type=float, default=0.05,
                    help="rebalance time budget as a fraction of service time")
+    p.add_argument("--sim-mode", default=None, choices=["vector", "scalar"],
+                   help="simulator round-accounting core: the array-backed "
+                        "vector core (default) or the per-module scalar "
+                        "oracle")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -388,7 +404,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         # Express load relative to measured capacity at a well-amortised
         # reference batch; calibrate on a throwaway adapter so the serving
         # adapter starts cold.
-        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
+                             sim_mode=args.sim_mode)
         capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
         rate = args.load * capacity
         print(f"calibrated capacity ≈ {capacity:.0f} req/s; offering "
@@ -406,7 +423,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"error: {e}")
         return 2
 
-    adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+    adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
+                           sim_mode=args.sim_mode)
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2
@@ -427,6 +445,80 @@ def _run_serve(args: argparse.Namespace) -> int:
         for path in (args.out, args.csv):
             if path is not None:
                 print(f"wrote {path}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: sharded paper-scale serve run."""
+    import math
+
+    from .eval.experiments import _dataset
+    from .eval.harness import make_adapter
+    from .serve import calibrate_capacity, run_sweep
+
+    n = args.n or 20_000
+    n_modules = args.n_modules or 2048
+    seed = args.seed if args.seed is not None else 7
+
+    try:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, w = part.strip().partition("=")
+            mix[kind] = float(w)
+    except ValueError:
+        print(f"error: malformed --mix {args.mix!r}")
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1")
+        return 2
+    if args.rebalance:
+        print("error: --rebalance is not supported by sweep "
+              "(shards are independent replicas)")
+        return 2
+
+    rate = args.rate
+    if rate is None:
+        # Per-shard rate, calibrated once on a throwaway adapter (all
+        # shards serve the same index, so one probe speaks for all).
+        data = _dataset(args.dataset, n, seed)
+        probe = make_adapter(args.index, data, n_modules=n_modules,
+                             seed=seed, sim_mode=args.sim_mode)
+        capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
+        rate = args.load * capacity
+        print(f"calibrated capacity ≈ {capacity:.0f} req/s; offering "
+              f"{args.load:.2f}x = {rate:.0f} req/s per shard")
+
+    result = run_sweep(
+        dataset=args.dataset, n=n, n_modules=n_modules, index=args.index,
+        total_requests=args.requests, rate=rate, procs=args.procs, seed=seed,
+        mix=mix, k=args.k,
+        deadline_s=(args.deadline_ms * 1e-3 if args.deadline_ms is not None
+                    else math.inf),
+        queue_depth=args.queue_depth, overflow=args.overflow,
+        policy=args.policy, fixed_batch=args.fixed_batch,
+        sim_mode=args.sim_mode, arrival=args.arrival,
+    )
+
+    print(f"=== sweep — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
+          f"{args.arrival} arrivals, {args.policy} batching ===")
+    print(result.table())
+    if args.out is not None:
+        args.out.write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"wrote {args.out}")
+    if args.csv is not None:
+        rows = [("n_shards", result.n_shards), ("n_offered", result.n_offered),
+                ("n_done", result.n_done), ("n_failed", result.n_failed),
+                ("n_timed_out", result.n_timed_out),
+                ("n_rejected", result.n_rejected), ("n_shed", result.n_shed),
+                ("aggregate_throughput", result.aggregate_throughput),
+                ("aggregate_goodput", result.aggregate_goodput),
+                ("wall_s", result.wall_s)]
+        for group, d in (("latency", result.latency), ("queue", result.queue),
+                         ("service", result.service)):
+            rows.extend((f"{group}_{k}", v) for k, v in d.items())
+        args.csv.write_text(
+            "metric,value\n" + "\n".join(f"{k},{v}" for k, v in rows) + "\n")
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -492,7 +584,8 @@ def _run_faults(args: argparse.Namespace) -> int:
     if rate is None:
         # Calibrate against a fault-free throwaway adapter: capacity means
         # the healthy machine's capacity, so degradation is visible.
-        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed)
+        probe = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
+                             sim_mode=args.sim_mode)
         capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
         rate = args.load * capacity
         print(f"calibrated fault-free capacity ≈ {capacity:.0f} req/s; "
@@ -512,7 +605,8 @@ def _run_faults(args: argparse.Namespace) -> int:
 
     tracer = TraceCollector()
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
-                           fault_plan=plan, tracer=tracer)
+                           fault_plan=plan, tracer=tracer,
+                           sim_mode=args.sim_mode)
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2
@@ -693,6 +787,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return _run_faults(args)
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command == "balance":
         return _run_balance(args)

@@ -467,11 +467,23 @@ class PIMZdTree:
     # upload / residency / space
     # ==================================================================
     def _upload(self) -> None:
-        """Initial distribution of the built tree onto the modules."""
+        """Initial distribution of the built tree onto the modules.
+
+        The per-meta fan-out is aggregated per destination module and
+        charged through the array-native bulk entry point: at paper scale
+        the build touches every one of the P=2048 modules, and one
+        ``send_bulk`` replaces |metas| scalar sends (byte-identical
+        counters — integer word counts sum exactly in any order).
+        """
+        send_by: dict[int, float] = {}
+        for meta in self.metas:
+            words = meta.size_words(self.config)
+            total = words * (
+                1 + (meta.replica_count() if meta.layer == Layer.L1 else 0)
+            )
+            send_by[meta.module] = send_by.get(meta.module, 0.0) + total
         with self.system.round():
-            for meta in self.metas:
-                words = meta.size_words(self.config)
-                self.system.send(meta.module, words * (1 + (meta.replica_count() if meta.layer == Layer.L1 else 0)))
+            self.system.send_bulk(send_by)
             if not self.l0_on_cpu:
                 self.system.broadcast(self.l0_words())
 

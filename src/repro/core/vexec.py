@@ -522,17 +522,29 @@ def route_through_l0_vec(tree, results) -> list[Task]:
         send_by: dict[int, float] = {}
         cyc_by: dict[int, float] = {}
         recv_by: dict[int, float] = {}
+        # Aggregate per placed module; all three dicts share one key
+        # sequence (first-appearance order), so a single mids array drives
+        # the three array-native charges below — and, under a drop-prone
+        # fault plan, the per-transfer RNG is consumed in that same order.
+        for res in results:
+            mid = sys.place(("l0q", salt, res.qid))
+            send_by[mid] = send_by.get(mid, 0.0) + 2
+            cyc_by[mid] = (
+                cyc_by.get(mid, 0.0) + len(res.trace) * _L0_PIM_CYCLES_PER_NODE
+            )
+            recv_by[mid] = recv_by.get(mid, 0.0) + TRACE_WORDS
+        n_mids = len(send_by)
+        mids = np.fromiter(send_by.keys(), dtype=np.intp, count=n_mids)
         with sys.round():
-            for res in results:
-                mid = sys.place(("l0q", salt, res.qid))
-                send_by[mid] = send_by.get(mid, 0.0) + 2
-                cyc_by[mid] = (
-                    cyc_by.get(mid, 0.0) + len(res.trace) * _L0_PIM_CYCLES_PER_NODE
-                )
-                recv_by[mid] = recv_by.get(mid, 0.0) + TRACE_WORDS
-            sys.send_bulk(send_by)
-            sys.charge_pim_bulk(cyc_by)
-            sys.recv_bulk(recv_by)
+            sys.send_array(
+                mids, np.fromiter(send_by.values(), dtype=np.float64,
+                                  count=n_mids))
+            sys.charge_pim_array(
+                mids, np.fromiter(cyc_by.values(), dtype=np.float64,
+                                  count=n_mids))
+            sys.recv_array(
+                mids, np.fromiter(recv_by.values(), dtype=np.float64,
+                                  count=n_mids))
     return [border[i] for i in sorted(border)]
 
 

@@ -93,6 +93,9 @@ class FaultPlan:
 
         self._rng = np.random.default_rng(self.seed)
         self._storms: dict[int, int] = {}  # mid -> rounds of storm left
+        # Cached per-module slowdown multiplier vector (see slow_vector);
+        # invalidated whenever the storm set changes.
+        self._slow_vec: np.ndarray | None = None
         self.crashed: set[int] = set()
         self.events: list[FaultEvent] = []
         # While paused (recovery / compensation paths) no new faults are
@@ -109,6 +112,30 @@ class FaultPlan:
         if self._storms and mid in self._storms:
             f *= self.storm_factor
         return f
+
+    def slow_vector(self, n: int) -> np.ndarray:
+        """Length-``n`` cycle-multiplier vector (``slow_factor`` per mid).
+
+        ``vec[mid]`` is computed exactly as :meth:`slow_factor` computes
+        it (static factor, then ``*= storm_factor`` while stormed), so
+        multiplying a charge vector by this is byte-identical to the
+        per-element path — including the inert ``* 1.0`` baseline.  The
+        vector is cached and rebuilt only when the storm set changes
+        (storms mutate only at round close), keeping the vectorized
+        charge path allocation-free between fault events.
+        """
+        vec = self._slow_vec
+        if vec is None or vec.shape[0] != n:
+            vec = np.ones(n, dtype=np.float64)
+            for mid, f in self.slow_factors.items():
+                if 0 <= mid < n:
+                    vec[mid] = f
+            for mid in self._storms:
+                if 0 <= mid < n:
+                    vec[mid] = (self.slow_factors.get(mid, 1.0)
+                                * self.storm_factor)
+            self._slow_vec = vec
+        return vec
 
     def should_drop(self, direction: str, mid: int, words: float,
                     round_index: int) -> FaultEvent | None:
@@ -136,6 +163,7 @@ class FaultPlan:
             left = self._storms[mid] - 1
             if left <= 0:
                 del self._storms[mid]
+                self._slow_vec = None
             else:
                 self._storms[mid] = left
         # Scheduled crashes.
@@ -159,6 +187,7 @@ class FaultPlan:
             if candidates:
                 mid = candidates[int(self._rng.integers(len(candidates)))]
                 self._storms[mid] = self.storm_rounds
+                self._slow_vec = None
                 out.append(FaultEvent("storm", mid, round_index,
                                       self.storm_factor,
                                       f"{self.storm_rounds} rounds"))

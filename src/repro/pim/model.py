@@ -28,6 +28,17 @@ An optional :class:`repro.obs.TraceCollector` (``tracer=`` /
 attached the per-charge cost is a single ``is None`` test and the counters
 are byte-identical to an untraced run.
 
+Two simulator cores implement identical semantics (``sim_mode=``):
+``"scalar"`` keeps one :class:`~repro.pim.module.PIMModule` object per
+module (the byte-exact oracle), while ``"vector"`` backs all per-module
+round state with NumPy arrays (:mod:`repro.pim.vector`) and closes
+rounds with a handful of array reductions — the paper-scale (P = 2048)
+fast path.  Both modes produce byte-identical :class:`PIMStats`; the
+differential suite in ``tests/test_sim_modes.py`` enforces it.  The
+array-native entry points (:meth:`charge_pim_array`, :meth:`send_array`,
+:meth:`recv_array`) exist in both modes; in scalar mode they degrade to
+element-by-element charging.
+
 An optional :class:`repro.faults.FaultPlan` (``fault_plan=`` /
 :meth:`attach_faults`) injects seeded faults at the charging sites:
 charges addressed to a decommissioned module raise
@@ -51,6 +62,7 @@ from ..faults.errors import MessageLoss, ModuleFailure
 from .cache import LRUCache
 from .module import PIMModule
 from .stats import PIMStats
+from .vector import VectorState
 
 __all__ = ["PIMSystem"]
 
@@ -97,16 +109,30 @@ class PIMSystem:
         seed: int = 0,
         tracer=None,
         fault_plan=None,
+        sim_mode: str = "vector",
     ) -> None:
         if n_modules < 1:
             raise ValueError("need at least one PIM module")
+        if sim_mode not in ("scalar", "vector"):
+            raise ValueError(
+                f"sim_mode must be 'scalar' or 'vector', got {sim_mode!r}"
+            )
         self.n_modules = int(n_modules)
-        self.modules = [
-            PIMModule(mid, module_capacity_words) for mid in range(self.n_modules)
-        ]
-        if module_capacity_words is not None:
-            for m in self.modules:
-                m.pressure_cb = self._capacity_pressure
+        self.sim_mode = sim_mode
+        if sim_mode == "vector":
+            self._vec = VectorState(self.n_modules, module_capacity_words)
+            self.modules = self._vec.views
+            if module_capacity_words is not None:
+                self._vec.pressure_cb = self._capacity_pressure
+        else:
+            self._vec = None
+            self.modules = [
+                PIMModule(mid, module_capacity_words)
+                for mid in range(self.n_modules)
+            ]
+            if module_capacity_words is not None:
+                for m in self.modules:
+                    m.pressure_cb = self._capacity_pressure
         self.llc = LRUCache(max(1, llc_bytes // 64), words_per_block=_WORDS_PER_BLOCK)
         self.stats = PIMStats()
         self.seed = seed
@@ -119,6 +145,12 @@ class PIMSystem:
         self._trace = tracer
         self._faults = fault_plan
         self._dead: set[int] = set()  # decommissioned module ids
+        # Outcome of the most recent broadcast: (delivered_mids,
+        # dropped_mids) as tuples in module-id order.  Under a drop-prone
+        # fault plan the fan-out is atomic per module: every live module
+        # is attempted, losses are recorded here (and on the raised
+        # MessageLoss), and nothing is left half-attempted.
+        self.last_broadcast: tuple[tuple[int, ...], tuple[int, ...]] | None = None
         # Persistent placement overrides (repro.balance migrations): maps
         # the canonical key encoding to a module id.  Consulted by place()
         # before the salted hash; an override whose target died is ignored
@@ -435,11 +467,35 @@ class PIMSystem:
             yield
         finally:
             self._in_round = False
-            if self._round_dirty:
+            if self._round_dirty or (
+                    self._vec is not None and self._vec.dirty.any()):
                 self._close_round()
 
     def _close_round(self) -> None:
         """Book one non-empty BSP round into the stats (and the trace)."""
+        if self._vec is None:
+            self._book_round_scalar()
+        else:
+            self._book_round_vector()
+        self._rounds_charged += 1
+
+        # Advance the fault schedule: storms decay/start, crashes land.
+        # Crash events are applied here (decommission) so the failure is
+        # detected on the *next* charge addressed to the dead module.
+        if self._faults is not None and not self._faults.paused:
+            if self._vec is None:
+                live = [m.mid for m in self.modules if not m.failed]
+            else:
+                live = [int(i) for i in np.flatnonzero(~self._vec.failed)]
+            for ev in self._faults.on_round_close(self._rounds_charged - 1, live):
+                if ev.kind == "crash":
+                    if self.n_live <= 1:
+                        continue  # never crash the last live module
+                    self.decommission(ev.mid)
+                self._notify_fault(ev)
+
+    def _book_round_scalar(self) -> None:
+        """Round booking over the per-module PIMModule objects (oracle)."""
         dirty = [self.modules[mid] for mid in sorted(self._round_dirty)]
         straggler = dirty[0]
         max_words_module = None
@@ -513,21 +569,111 @@ class PIMSystem:
                     ),
                 )
             )
-        self._rounds_charged += 1
         for m in dirty:
             m.begin_round()
 
-        # Advance the fault schedule: storms decay/start, crashes land.
-        # Crash events are applied here (decommission) so the failure is
-        # detected on the *next* charge addressed to the dead module.
-        if self._faults is not None and not self._faults.paused:
-            live = [m.mid for m in self.modules if not m.failed]
-            for ev in self._faults.on_round_close(self._rounds_charged - 1, live):
-                if ev.kind == "crash":
-                    if self.n_live <= 1:
-                        continue  # never crash the last live module
-                    self.decommission(ev.mid)
-                self._notify_fault(ev)
+    def _book_round_vector(self) -> None:
+        """Round booking over the VectorState arrays.
+
+        Byte-identical to :meth:`_book_round_scalar`: the straggler and
+        bottleneck-link argmaxes use first-occurrence-over-sorted-mids
+        (matching the scalar strict ``>`` scan), per-phase splits are
+        guarded against zero so no spurious phase bucket is created, and
+        all sums are over integer-valued charges (exact in float64, so
+        summation order is irrelevant).
+        """
+        v = self._vec
+        if self._round_dirty:
+            # Union in the modules the scalar entry points touched.
+            v.dirty[np.fromiter(self._round_dirty, dtype=np.intp,
+                                count=len(self._round_dirty))] = True
+        mids = np.flatnonzero(v.dirty)  # ascending, like sorted(set)
+        mids_list = mids.tolist()
+        rc = v.round_cycles[mids]
+        rw = v.round_send_words[mids] + v.round_recv_words[mids]
+        i_straggler = int(np.argmax(rc))
+        straggler_mid = mids_list[i_straggler]
+        max_cycles = float(rc[i_straggler])
+        i_words = int(np.argmax(rw))
+        max_words = float(rw[i_words])
+        max_words_mid = mids_list[i_words] if max_words > 0 else None
+        if max_words <= 0:
+            max_words = 0.0
+        total_words = float(rw.sum())
+        module_rounds = int(np.count_nonzero(rw > 0))
+
+        t = self.stats.total
+        t.pim_cycles += max_cycles
+        t.comm_words += total_words
+        t.comm_max_words += max_words
+        t.rounds += 1
+        t.module_rounds += module_rounds
+        for ph, arr in v.round_phase_cycles.items():
+            c = float(arr[straggler_mid])
+            if c != 0.0:
+                self.stats.phase(ph).pim_cycles += c
+        for ph, arr in v.round_phase_words.items():
+            w = float(arr.sum())
+            if w != 0.0:
+                self.stats.phase(ph).comm_words += w
+        if max_words_mid is not None:
+            for ph, arr in v.round_phase_words.items():
+                w = float(arr[max_words_mid])
+                if w != 0.0:
+                    self.stats.phase(ph).comm_max_words += w
+        entry = self.stats.phase(self._round_entry_phase)
+        entry.rounds += 1
+        entry.module_rounds += module_rounds
+        self.stats.mux_switches += 2
+
+        if self._trace is not None:
+            from ..obs.trace import RoundRecord
+
+            self._trace.on_round(
+                RoundRecord(
+                    index=self._rounds_charged,
+                    entry_phase=self._round_entry_phase,
+                    straggler_mid=straggler_mid,
+                    max_cycles=max_cycles,
+                    total_words=total_words,
+                    max_words=max_words,
+                    max_words_mid=(
+                        max_words_mid if max_words_mid is not None else -1
+                    ),
+                    module_rounds=module_rounds,
+                    touched=len(mids_list),
+                    cycles_by_module={
+                        m: float(v.round_cycles[m]) for m in mids_list
+                    },
+                    words_by_module={
+                        m: float(v.round_send_words[m] + v.round_recv_words[m])
+                        for m in mids_list
+                    },
+                    pim_cycles_by_phase={
+                        ph: float(arr[straggler_mid])
+                        for ph, arr in v.round_phase_cycles.items()
+                        if arr[straggler_mid] != 0.0
+                    },
+                    phase_words_by_module={
+                        m: {
+                            ph: float(arr[m])
+                            for ph, arr in v.round_phase_words.items()
+                            if arr[m] != 0.0
+                        }
+                        for m in mids_list
+                    },
+                    comm_max_words_by_phase=(
+                        {
+                            ph: float(arr[max_words_mid])
+                            for ph, arr in v.round_phase_words.items()
+                            if arr[max_words_mid] != 0.0
+                        }
+                        if max_words_mid is not None
+                        else {}
+                    ),
+                )
+            )
+        v.reset_round(mids)
 
     def _module_in_round(self, mid: int) -> PIMModule:
         if not self._in_round:
@@ -543,7 +689,13 @@ class PIMSystem:
         With a fault plan attached, straggler slowdowns (static and storm)
         multiply the charged cycles — the slow module inflates the round's
         straggler max exactly as §2.1's max-over-modules dictates.
+
+        A zero charge is a complete no-op (matching the bulk/array entry
+        points, which skip zero amounts): it does not dirty the module,
+        book a round, or consult the fault plan.
         """
+        if not cycles:
+            return
         phase = self.current_phase
         m = self._module_in_round(mid)
         if self._faults is not None:
@@ -561,7 +713,12 @@ class PIMSystem:
         (:class:`~repro.faults.MessageLoss`), raised *before* the words are
         charged; work already charged in the round stands and books when
         the round closes.
+
+        A zero-word send is a complete no-op (matching the bulk/array
+        entry points): no dirty module, no round, no drop roll.
         """
+        if not words:
+            return
         phase = self.current_phase
         m = self._module_in_round(mid)
         if self._faults is not None:
@@ -571,7 +728,12 @@ class PIMSystem:
             self._trace.on_send(phase, mid, words)
 
     def recv(self, mid: int, words: float) -> None:
-        """Module → CPU transfer of ``words`` words in the current round."""
+        """Module → CPU transfer of ``words`` words in the current round.
+
+        A zero-word recv is a complete no-op, like :meth:`send`.
+        """
+        if not words:
+            return
         phase = self.current_phase
         m = self._module_in_round(mid)
         if self._faults is not None:
@@ -580,6 +742,88 @@ class PIMSystem:
         if self._trace is not None:
             self._trace.on_recv(phase, mid, words)
 
+    # -- array-native entry points --------------------------------------
+    #
+    # charge_pim_array / send_array / recv_array accept parallel (mids,
+    # amounts) arrays and are available in both sim modes: in scalar mode
+    # (or whenever a tracer, dead modules, or drop faults demand exact
+    # per-element semantics) they degrade to the element-by-element scalar
+    # calls, so they are byte-identical to a hand-written loop by
+    # construction.  In vector mode with no such complication they update
+    # the VectorState arrays with a handful of NumPy ops — the fast path
+    # the vexec kernels and the bulk-build ride at P=2048.
+
+    @staticmethod
+    def _as_charge_arrays(mids, amounts):
+        """Canonicalise to (intp mids, float64 amounts) with zeros dropped."""
+        mids = np.asarray(mids, dtype=np.intp)
+        amounts = np.asarray(amounts, dtype=np.float64)
+        if amounts.ndim == 0:
+            amounts = np.broadcast_to(amounts, mids.shape)
+        nz = amounts != 0.0
+        if not nz.all():
+            mids = mids[nz]
+            amounts = amounts[nz]
+        return mids, amounts
+
+    def charge_pim_array(self, mids, cycles) -> None:
+        """Charge PIM cycles on many modules from parallel arrays.
+
+        Zero entries are skipped (same no-op semantics as the scalar
+        path); slowdown factors are applied as a per-module multiplier
+        vector.  Byte-identical to calling :meth:`charge_pim` once per
+        element in array order.
+        """
+        mids, cycles = self._as_charge_arrays(mids, cycles)
+        if mids.size == 0:
+            return
+        v = self._vec
+        if v is None or self._trace is not None or self._dead:
+            for mid, c in zip(mids.tolist(), cycles.tolist()):
+                self.charge_pim(mid, c)
+            return
+        if not self._in_round:
+            raise RuntimeError("PIM activity is only legal inside a BSP round")
+        if self._faults is not None:
+            # x * 1.0 == x exactly, so the all-ones baseline is inert.
+            cycles = cycles * self._faults.slow_vector(self.n_modules)[mids]
+        v.dirty[mids] = True
+        phase_arr = v.phase_cycles(self.current_phase)
+        np.add.at(v.round_cycles, mids, cycles)
+        np.add.at(v.total_cycles, mids, cycles)
+        np.add.at(phase_arr, mids, cycles)
+
+    def _transfer_array(self, direction: str, mids, words) -> None:
+        mids, words = self._as_charge_arrays(mids, words)
+        if mids.size == 0:
+            return
+        v = self._vec
+        drops_armed = (self._faults is not None
+                       and self._faults.drop_rate > 0.0
+                       and not self._faults.paused)
+        if v is None or self._trace is not None or self._dead or drops_armed:
+            # Element-by-element: preserves per-transfer drop-RNG order,
+            # exact ModuleFailure raise points, and per-charge tracing.
+            scalar = self.send if direction == "send" else self.recv
+            for mid, w in zip(mids.tolist(), words.tolist()):
+                scalar(mid, w)
+            return
+        if not self._in_round:
+            raise RuntimeError("PIM activity is only legal inside a BSP round")
+        v.dirty[mids] = True
+        acc = v.round_recv_words if direction == "send" else v.round_send_words
+        np.add.at(acc, mids, words)
+        np.add.at(v.phase_words(self.current_phase), mids, words)
+
+    def send_array(self, mids, words) -> None:
+        """CPU → module transfers from parallel (mids, words) arrays."""
+        self._transfer_array("send", mids, words)
+
+    def recv_array(self, mids, words) -> None:
+        """Module → CPU transfers from parallel (mids, words) arrays."""
+        self._transfer_array("recv", mids, words)
+
+    # -- dict-keyed bulk wrappers ---------------------------------------
     def charge_pim_bulk(self, cycles_by_mid: dict) -> None:
         """Charge PIM cycles on many modules, one call per round.
 
@@ -588,42 +832,33 @@ class PIMSystem:
         byte-identical to charging the same total element by element
         (integer-valued charges sum exactly in float64).
         """
-        phase = self.current_phase
-        faults = self._faults
-        for mid, cycles in cycles_by_mid.items():
-            if cycles:
-                m = self._module_in_round(mid)
-                if faults is not None:
-                    f = faults.slow_factor(mid)
-                    if f != 1.0:
-                        cycles = cycles * f
-                m.charge(cycles, phase)
-                if self._trace is not None:
-                    self._trace.on_pim(phase, mid, cycles)
+        n = len(cycles_by_mid)
+        if not n:
+            return
+        self.charge_pim_array(
+            np.fromiter(cycles_by_mid.keys(), dtype=np.intp, count=n),
+            np.fromiter(cycles_by_mid.values(), dtype=np.float64, count=n),
+        )
 
     def send_bulk(self, words_by_mid: dict) -> None:
         """CPU → module transfers to many modules in the current round."""
-        phase = self.current_phase
-        for mid, words in words_by_mid.items():
-            if words:
-                m = self._module_in_round(mid)
-                if self._faults is not None:
-                    self._check_drop("send", mid, words)
-                m.add_recv(words, phase)
-                if self._trace is not None:
-                    self._trace.on_send(phase, mid, words)
+        n = len(words_by_mid)
+        if not n:
+            return
+        self.send_array(
+            np.fromiter(words_by_mid.keys(), dtype=np.intp, count=n),
+            np.fromiter(words_by_mid.values(), dtype=np.float64, count=n),
+        )
 
     def recv_bulk(self, words_by_mid: dict) -> None:
         """Module → CPU transfers from many modules in the current round."""
-        phase = self.current_phase
-        for mid, words in words_by_mid.items():
-            if words:
-                m = self._module_in_round(mid)
-                if self._faults is not None:
-                    self._check_drop("recv", mid, words)
-                m.add_send(words, phase)
-                if self._trace is not None:
-                    self._trace.on_recv(phase, mid, words)
+        n = len(words_by_mid)
+        if not n:
+            return
+        self.recv_array(
+            np.fromiter(words_by_mid.keys(), dtype=np.intp, count=n),
+            np.fromiter(words_by_mid.values(), dtype=np.float64, count=n),
+        )
 
     def charge_comm_flat(self, words: float) -> None:
         """Charge CPU↔PIM words without binding them to a specific round.
@@ -644,30 +879,75 @@ class PIMSystem:
             self._trace.on_comm_flat(phase, words, max_words)
 
     def broadcast(self, words_per_module: float) -> None:
-        """CPU → all live modules (replication update); charged per module."""
+        """CPU → all live modules (replication update); charged per module.
+
+        The fan-out is atomic per module under a fault plan: every live
+        module is attempted even when an earlier transfer is dropped, so
+        a mid-loop :class:`~repro.faults.MessageLoss` can no longer leave
+        later modules silently unsent.  The outcome is recorded in
+        :attr:`last_broadcast` as ``(delivered_mids, dropped_mids)`` (both
+        in module-id order, so a seeded plan reproduces it exactly); if
+        any transfer dropped, the first loss is re-raised after the
+        fan-out completes, carrying ``delivered_mids`` / ``dropped_mids``
+        attributes for the caller's retry logic.
+        """
+        plan = self._faults
+        if plan is None or plan.drop_rate <= 0.0 or plan.paused:
+            live = [mid for mid in range(self.n_modules)
+                    if mid not in self._dead]
+            self.send_array(np.asarray(live, dtype=np.intp),
+                            float(words_per_module))
+            self.last_broadcast = (tuple(live), ())
+            return
+        delivered: list[int] = []
+        dropped: list[int] = []
+        first_loss: MessageLoss | None = None
         for mid in range(self.n_modules):
             if mid in self._dead:
                 continue
-            self.send(mid, words_per_module)
+            try:
+                self.send(mid, words_per_module)
+            except MessageLoss as e:
+                dropped.append(mid)
+                if first_loss is None:
+                    first_loss = e
+            else:
+                delivered.append(mid)
+        self.last_broadcast = (tuple(delivered), tuple(dropped))
+        if first_loss is not None:
+            first_loss.delivered_mids = tuple(delivered)
+            first_loss.dropped_mids = tuple(dropped)
+            raise first_loss
 
     # ------------------------------------------------------------------
     # residency / reporting
     # ------------------------------------------------------------------
     def master_words(self) -> float:
+        if self._vec is not None:
+            return float(self._vec.master_words.sum())
         return sum(m.master_words for m in self.modules)
 
     def cache_words(self) -> float:
+        if self._vec is not None:
+            return float(self._vec.cache_words.sum())
         return sum(m.cache_words for m in self.modules)
 
     def used_words(self) -> float:
+        if self._vec is not None:
+            return float(self._vec.master_words.sum()
+                         + self._vec.cache_words.sum())
         return sum(m.used_words for m in self.modules)
 
     def module_loads(self) -> np.ndarray:
         """Cumulative PIM cycles per module (load-balance inspection)."""
+        if self._vec is not None:
+            return self._vec.total_cycles.copy()
         return np.array([m.total_cycles for m in self.modules])
 
     def residency(self) -> np.ndarray:
         """Words resident per module."""
+        if self._vec is not None:
+            return self._vec.master_words + self._vec.cache_words
         return np.array([m.used_words for m in self.modules])
 
     def snapshot(self) -> PIMStats:

@@ -12,6 +12,27 @@ from __future__ import annotations
 
 __all__ = ["PIMModule"]
 
+_FREE_TOLERANCE = 1e-9
+
+
+def _checked_free(current: float, words: float, mid: int, kind: str) -> float:
+    """Residency after freeing ``words``, clamped to exactly 0.0.
+
+    A free is allowed to miss zero by at most ``_FREE_TOLERANCE`` in
+    either direction (float drift from repeated fractional alloc/free
+    cycles); within the tolerance the residual is snapped to exactly
+    0.0 rather than kept, so drift cannot accumulate across many
+    migration/failover rounds and poison ``used_words`` or the Gini
+    residency signals.  A larger undershoot is a real accounting bug
+    and raises.
+    """
+    remaining = current - words
+    if remaining < -_FREE_TOLERANCE:
+        raise RuntimeError(f"module {mid}: {kind} residency negative")
+    if remaining <= _FREE_TOLERANCE:
+        remaining = 0.0
+    return remaining
+
 
 class PIMModule:
     """Accounting state of one PIM module."""
@@ -100,9 +121,9 @@ class PIMModule:
             self._check_pressure(words)
 
     def free_master(self, words: float) -> None:
-        self.master_words -= words
-        if self.master_words < -1e-9:
-            raise RuntimeError(f"module {self.mid}: master residency negative")
+        self.master_words = _checked_free(
+            self.master_words, words, self.mid, "master"
+        )
 
     def alloc_cache(self, words: float) -> None:
         self.cache_words += words
@@ -122,9 +143,9 @@ class PIMModule:
             self.pressure_cb(self)
 
     def free_cache(self, words: float) -> None:
-        self.cache_words -= words
-        if self.cache_words < -1e-9:
-            raise RuntimeError(f"module {self.mid}: cache residency negative")
+        self.cache_words = _checked_free(
+            self.cache_words, words, self.mid, "cache"
+        )
 
     def over_capacity(self) -> bool:
         return self.capacity_words is not None and self.used_words > self.capacity_words

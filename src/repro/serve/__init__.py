@@ -37,6 +37,7 @@ from .loop import BatchRecord, ServeLoop, ServeResult
 from .queue import AdmissionQueue, OVERFLOW_POLICIES
 from .request import KINDS, Request, make_requests
 from .stats import LatencyStats, latency_summary
+from .sweep import SweepResult, run_shard, run_sweep
 
 __all__ = [
     "AdaptiveBatchPolicy",
@@ -49,9 +50,12 @@ __all__ = [
     "Request",
     "ServeLoop",
     "ServeResult",
+    "SweepResult",
     "calibrate_capacity",
     "latency_summary",
     "make_requests",
+    "run_shard",
+    "run_sweep",
     "serve",
 ]
 

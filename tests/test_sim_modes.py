@@ -1,0 +1,425 @@
+"""Differential oracle for the simulator cores: scalar vs. vector sim_mode.
+
+The array-backed vector core (``repro.pim.vector``) must be a byte-exact
+drop-in for the per-module scalar oracle: for any charging script — scalar
+calls, dict-keyed bulk calls, array-native calls, phases, zero amounts,
+faults — both ``sim_mode="scalar"`` and ``sim_mode="vector"`` must produce
+byte-identical :class:`repro.pim.stats.PIMStats`.
+
+Also locks down the PR's scalar-path bugfixes:
+
+* zero-charge unification — ``charge_pim``/``send``/``recv`` with a zero
+  amount are complete no-ops, matching the bulk/array entry points;
+* residency clamp — ``free_master``/``free_cache`` snap a within-tolerance
+  negative residual to exactly 0.0 (drift cannot accumulate);
+* broadcast fan-out atomicity — a drop mid-broadcast no longer leaves
+  later modules silently unsent;
+* ``HotnessTracker.transfer`` guards (self-transfer, dead destination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import HotnessTracker
+from repro.faults import FaultPlan, MessageLoss
+from repro.pim import PIMSystem
+
+pytestmark = []
+
+
+def both_systems(n=4, **kw):
+    return (PIMSystem(n, sim_mode="scalar", **kw),
+            PIMSystem(n, sim_mode="vector", **kw))
+
+
+def assert_stats_identical(scalar: PIMSystem, vector: PIMSystem) -> None:
+    a, b = scalar.stats, vector.stats
+    if a == b:
+        assert a.to_dict() == b.to_dict()
+        return
+    lines = [f"total:\n  scalar={a.total}\n  vector={b.total}"]
+    for lab in sorted(set(a.phases) | set(b.phases)):
+        pa, pb = a.phases.get(lab), b.phases.get(lab)
+        if pa != pb:
+            lines.append(f"phase {lab}:\n  scalar={pa}\n  vector={pb}")
+    raise AssertionError("sim modes diverge:\n" + "\n".join(lines))
+
+
+# ======================================================================
+# zero-charge unification (bugfix)
+# ======================================================================
+class TestZeroChargeSemantics:
+    def test_zero_scalar_charges_book_nothing(self):
+        for mode in ("scalar", "vector"):
+            sys = PIMSystem(4, sim_mode=mode)
+            before = sys.snapshot()
+            with sys.round():
+                sys.charge_pim(0, 0)
+                sys.send(1, 0.0)
+                sys.recv(2, 0)
+            d = sys.stats.diff(before).total
+            assert d.rounds == 0, mode
+            assert sys.stats.mux_switches == 0, mode
+            assert d.pim_cycles == 0 and d.comm_words == 0, mode
+
+    def test_scalar_vs_bulk_identical_with_zeros(self):
+        """The regression the tentpole gated on: zeros through the scalar
+        entry points must book exactly what the bulk path books."""
+        script = [(0, 10.0), (1, 0.0), (2, 7.0), (3, 0.0), (0, 0.0), (2, 3.0)]
+        a = PIMSystem(4, sim_mode="scalar")
+        b = PIMSystem(4, sim_mode="scalar")
+        with a.round():
+            for mid, amt in script:
+                a.charge_pim(mid, amt)
+                a.send(mid, amt)
+                a.recv(mid, amt * 2)
+        with b.round():
+            for mid, amt in script:
+                b.charge_pim_bulk({mid: amt})
+                b.send_bulk({mid: amt})
+                b.recv_bulk({mid: amt * 2})
+        assert a.stats == b.stats
+        assert a.stats.to_dict() == b.stats.to_dict()
+
+    def test_zero_only_round_is_empty(self):
+        sys = PIMSystem(2)
+        with sys.round():
+            sys.send(0, 0.0)
+        assert sys.stats.total.rounds == 0
+        assert sys.stats.mux_switches == 0
+
+    def test_zero_send_consumes_no_drop_rng(self):
+        """A zero-word send must not roll the drop RNG (bulk never did)."""
+        plan_a = FaultPlan(seed=5, drop_rate=0.5)
+        plan_b = FaultPlan(seed=5, drop_rate=0.5)
+        a = PIMSystem(2, fault_plan=plan_a)
+        b = PIMSystem(2, fault_plan=plan_b)
+
+        def run(sys, with_zero):
+            outcomes = []
+            for _ in range(20):
+                with sys.round():
+                    if with_zero:
+                        sys.send(1, 0.0)
+                    try:
+                        sys.send(0, 4)
+                        outcomes.append("ok")
+                    except MessageLoss:
+                        outcomes.append("drop")
+            return outcomes
+
+        assert run(a, with_zero=True) == run(b, with_zero=False)
+
+
+# ======================================================================
+# residency clamp (bugfix)
+# ======================================================================
+class TestResidencyClamp:
+    @pytest.mark.parametrize("mode", ["scalar", "vector"])
+    def test_drift_clamps_to_exact_zero(self, mode):
+        sys = PIMSystem(2, sim_mode=mode)
+        m = sys.modules[0]
+        # 0.1 is inexact in binary; ten allocs/frees drift below zero by
+        # ~1e-17 — within tolerance, so the residual must snap to 0.0.
+        for _ in range(10):
+            m.alloc_master(0.1)
+            m.alloc_cache(0.1)
+        for _ in range(10):
+            m.free_master(0.1)
+            m.free_cache(0.1)
+        assert m.master_words == 0.0
+        assert m.cache_words == 0.0
+        assert m.used_words == 0.0
+
+    @pytest.mark.parametrize("mode", ["scalar", "vector"])
+    def test_drift_does_not_accumulate_across_cycles(self, mode):
+        sys = PIMSystem(2, sim_mode=mode)
+        m = sys.modules[1]
+        for _ in range(500):
+            m.alloc_master(0.3)
+            m.free_master(0.1)
+            m.free_master(0.2)
+        assert m.master_words == 0.0
+
+    @pytest.mark.parametrize("mode", ["scalar", "vector"])
+    def test_real_negative_still_raises(self, mode):
+        sys = PIMSystem(2, sim_mode=mode)
+        with pytest.raises(RuntimeError):
+            sys.modules[0].free_master(1.0)
+        with pytest.raises(RuntimeError):
+            sys.modules[0].free_cache(0.5)
+
+
+# ======================================================================
+# broadcast fan-out atomicity (bugfix)
+# ======================================================================
+class TestBroadcastAtomicity:
+    def _run(self, seed: int):
+        plan = FaultPlan(seed=seed, drop_rate=0.4)
+        sys = PIMSystem(8, fault_plan=plan)
+        err = None
+        with sys.round():
+            try:
+                sys.broadcast(5)
+            except MessageLoss as e:
+                err = e
+        return sys, err
+
+    def test_partial_delivery_recorded_and_charged(self):
+        # Seed chosen so the 8 drop rolls produce at least one loss and
+        # at least one delivery (asserted, not assumed).
+        sys, err = self._run(seed=1)
+        delivered, dropped = sys.last_broadcast
+        assert dropped and delivered
+        assert err is not None
+        assert err.delivered_mids == delivered
+        assert err.dropped_mids == dropped
+        assert sorted(delivered + dropped) == list(range(8))
+        # Every delivered module was charged; no dropped module was.
+        assert sys.stats.total.comm_words == 5 * len(delivered)
+        assert sys.stats.total.module_rounds == len(delivered)
+
+    def test_fanout_is_deterministic(self):
+        a, _ = self._run(seed=3)
+        b, _ = self._run(seed=3)
+        assert a.last_broadcast == b.last_broadcast
+        assert a.stats == b.stats
+
+    def test_fault_free_broadcast_reaches_all_live(self):
+        sys = PIMSystem(6)
+        sys.decommission(4)
+        with sys.round():
+            sys.broadcast(3)
+        delivered, dropped = sys.last_broadcast
+        assert delivered == (0, 1, 2, 3, 5)
+        assert dropped == ()
+        assert sys.stats.total.comm_words == 3 * 5
+
+
+# ======================================================================
+# HotnessTracker.transfer guards (bugfix)
+# ======================================================================
+class TestTransferGuards:
+    def _tracker(self, n=4):
+        sys = PIMSystem(n)
+        tr = HotnessTracker(sys, alpha=1.0)
+        with sys.round():
+            sys.charge_pim(0, 100)
+            sys.charge_pim(1, 50)
+        tr.observe()
+        return sys, tr
+
+    def test_self_transfer_is_noop(self):
+        _, tr = self._tracker()
+        before = tr.hotness.copy()
+        tr.transfer(0, 0, 40.0)
+        assert np.array_equal(tr.hotness, before)
+
+    def test_dead_destination_is_noop(self):
+        sys, tr = self._tracker()
+        sys.decommission(2)
+        before = tr.hotness.copy()
+        tr.transfer(0, 2, 40.0)
+        assert np.array_equal(tr.hotness, before)
+
+    def test_out_of_range_raises(self):
+        _, tr = self._tracker()
+        with pytest.raises(ValueError):
+            tr.transfer(0, 99, 1.0)
+        with pytest.raises(ValueError):
+            tr.transfer(-5, 1, 1.0)
+
+    def test_migration_then_failover_composes(self):
+        """A stale plan executed after the destination crashed must not
+        park heat on the dead module (it would never decay back out)."""
+        sys, tr = self._tracker()
+        # Planner decides to move heat 0 -> 2; module 2 crashes first.
+        sys.decommission(2)
+        tr.transfer(0, 2, 60.0)
+        assert tr.hotness[2] == 0.0
+        # Heat stays where observations can still decay it.
+        assert tr.hotness[0] == 100.0
+        # A live re-plan still works.
+        tr.transfer(0, 3, 60.0)
+        assert tr.hotness[3] == 60.0 and tr.hotness[0] == 40.0
+        assert np.all(tr.live_hotness() >= 0.0)
+
+
+# ======================================================================
+# scalar vs vector differential
+# ======================================================================
+VERBS = st.sampled_from(["pim", "send", "recv", "bulk_pim", "bulk_send",
+                         "bulk_recv", "arr_pim", "arr_send", "arr_recv",
+                         "flat"])
+PHASES = st.sampled_from(["build", "query", "update", "other"])
+AMOUNTS = st.integers(0, 40)  # zeros included on purpose
+
+
+@st.composite
+def charge_scripts(draw):
+    n_rounds = draw(st.integers(1, 5))
+    script = []
+    for _ in range(n_rounds):
+        n_ops = draw(st.integers(0, 6))
+        ops = []
+        for _ in range(n_ops):
+            verb = draw(VERBS)
+            phase = draw(PHASES)
+            if verb.startswith(("bulk", "arr")):
+                pairs = draw(st.lists(
+                    st.tuples(st.integers(0, 3), AMOUNTS),
+                    min_size=0, max_size=5))
+                ops.append((verb, phase, pairs))
+            else:
+                ops.append((verb, phase, draw(st.integers(0, 3)),
+                            draw(AMOUNTS)))
+        script.append(ops)
+    return script
+
+
+def _apply_script(sys: PIMSystem, script) -> None:
+    for round_ops in script:
+        with sys.round():
+            for op in round_ops:
+                verb, phase = op[0], op[1]
+                with sys.phase(phase):
+                    if verb == "pim":
+                        sys.charge_pim(op[2], op[3])
+                    elif verb == "send":
+                        sys.send(op[2], op[3])
+                    elif verb == "recv":
+                        sys.recv(op[2], op[3])
+                    elif verb == "flat":
+                        sys.charge_comm_flat(op[3])
+                    elif verb == "bulk_pim":
+                        d = {}
+                        for mid, amt in op[2]:
+                            d[mid] = d.get(mid, 0) + amt
+                        sys.charge_pim_bulk(d)
+                    elif verb == "bulk_send":
+                        d = {}
+                        for mid, amt in op[2]:
+                            d[mid] = d.get(mid, 0) + amt
+                        sys.send_bulk(d)
+                    elif verb == "bulk_recv":
+                        d = {}
+                        for mid, amt in op[2]:
+                            d[mid] = d.get(mid, 0) + amt
+                        sys.recv_bulk(d)
+                    elif op[2]:
+                        mids = np.array([m for m, _ in op[2]], dtype=np.intp)
+                        amts = np.array([a for _, a in op[2]],
+                                        dtype=np.float64)
+                        if verb == "arr_pim":
+                            sys.charge_pim_array(mids, amts)
+                        elif verb == "arr_send":
+                            sys.send_array(mids, amts)
+                        else:
+                            sys.recv_array(mids, amts)
+
+
+class TestSimModeDifferential:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(script=charge_scripts())
+    def test_any_charging_script_is_identical(self, script):
+        scalar, vector = both_systems(4)
+        _apply_script(scalar, script)
+        _apply_script(vector, script)
+        assert_stats_identical(scalar, vector)
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(script=charge_scripts(), seed=st.integers(0, 100))
+    def test_identical_under_faults(self, script, seed):
+        plan_kw = dict(seed=seed, drop_rate=0.15, slow_factors={1: 3.0},
+                       storm_rate=0.3, storm_factor=4.0, storm_rounds=2,
+                       crash_rate=0.05, max_crashes=2)
+        scalar, vector = both_systems(
+            4, fault_plan=FaultPlan(**plan_kw))
+        # Re-create the plan per system: each consumes its own RNG stream.
+        vector._faults = FaultPlan(**plan_kw)
+
+        def run(sys):
+            try:
+                _apply_script(sys, script)
+            except Exception as e:  # noqa: BLE001 - faults are the point
+                return type(e).__name__, str(e)
+            return None
+
+        ra, rb = run(scalar), run(vector)
+        assert ra == rb
+        assert_stats_identical(scalar, vector)
+        assert ([e.to_dict() for e in scalar.fault_plan.events]
+                == [e.to_dict() for e in vector.fault_plan.events])
+
+    def test_straggler_tiebreak_matches(self):
+        """Equal round cycles: both modes pick the lowest dirty mid."""
+        scalar, vector = both_systems(4)
+        for sys in (scalar, vector):
+            with sys.round():
+                with sys.phase("a"):
+                    sys.charge_pim(2, 10)
+                with sys.phase("b"):
+                    sys.charge_pim(1, 10)  # tie: mid 1 wins (sorted order)
+        assert_stats_identical(scalar, vector)
+        assert scalar.stats.phases["b"].pim_cycles == 10
+        assert "a" not in {
+            ph for ph, c in scalar.stats.phases.items() if c.pim_cycles
+        }
+
+    def test_decommission_and_views(self):
+        scalar, vector = both_systems(4)
+        for sys in (scalar, vector):
+            sys.modules[1].alloc_master(50)
+            sys.modules[1].alloc_cache(20)
+            sys.modules[2].alloc_master(30)
+            sys.decommission(1)
+        for sys in (scalar, vector):
+            assert sys.modules[1].failed
+            assert sys.modules[1].used_words == 0.0
+            assert sys.master_words() == 30.0
+            assert sys.used_words() == 30.0
+            assert list(sys.residency()) == [0.0, 0.0, 30.0, 0.0]
+        with pytest.raises(Exception):
+            with vector.round():
+                vector.charge_pim(1, 5)
+
+    def test_module_loads_shapes(self):
+        scalar, vector = both_systems(3)
+        for sys in (scalar, vector):
+            with sys.round():
+                sys.charge_pim_array(np.array([0, 2]), np.array([7.0, 9.0]))
+        assert np.array_equal(scalar.module_loads(), vector.module_loads())
+        # module_loads returns a copy, not a live view of the core.
+        loads = vector.module_loads()
+        loads[0] = 999.0
+        assert vector.module_loads()[0] == 7.0
+
+    def test_traced_runs_agree(self):
+        """With a tracer attached the vector core books through the exact
+        per-element path; stats must stay identical and rounds reconcile."""
+        from repro.obs import TraceCollector
+
+        ta, tb = TraceCollector(), TraceCollector()
+        scalar = PIMSystem(4, sim_mode="scalar", tracer=ta)
+        vector = PIMSystem(4, sim_mode="vector", tracer=tb)
+        script = [[("pim", "q", 0, 5), ("send", "q", 1, 3),
+                   ("recv", "u", 0, 2)],
+                  [("bulk_pim", "q", [(0, 4), (3, 9)])]]
+        _apply_script(scalar, script)
+        _apply_script(vector, script)
+        assert_stats_identical(scalar, vector)
+        ra = ta.rounds()
+        rb = tb.rounds()
+        assert len(ra) == len(rb) == 2
+        for x, y in zip(ra, rb):
+            assert x.cycles_by_module == y.cycles_by_module
+            assert x.words_by_module == y.words_by_module
+            assert x.straggler_mid == y.straggler_mid
+
+    def test_invalid_sim_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PIMSystem(2, sim_mode="simd")
