@@ -1,0 +1,245 @@
+"""Crash & restart: kill the whole machine mid-serve, restart from disk.
+
+The durable tier (``repro.store``) checkpoints copy-on-write snapshots
+and write-ahead-logs every update batch, so a whole-machine kill is
+survivable: the serve loop restarts from the last snapshot, replays the
+committed WAL suffix under the charged ``"recovery"`` phase, and retries
+the in-flight batch exactly once.  Three scenario families lock this
+down:
+
+* **byte-identical restart** — an insert-only serve run killed mid-way
+  must converge to *the same index, byte for byte*, as a never-crashed
+  oracle run over the same requests: identical snapshot encodings
+  (topology + every chunk) and identical kNN / box-count answers;
+* **charged, reconciled recovery** — a standalone restart books every
+  cycle/word/op under ``"recovery"`` (phase total == system total on
+  every counter) and the attached obs trace reconciles bit-exactly,
+  on both the file and sqlite backends, across a failover record;
+* **snapshot-cadence sensitivity** — sweeping the checkpoint budget
+  fraction trades checkpoint work for restart work: more frequent
+  snapshots shorten the WAL replay and the time-to-first-query (TTFQ);
+  the table also reports time-to-full-throughput (TTFT, kill → first
+  completed batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import make_adapter
+from repro.faults import FaultPlan
+from repro.obs import TraceCollector
+from repro.serve import (
+    AdmissionQueue,
+    FixedBatchPolicy,
+    ServeLoop,
+    make_requests,
+)
+from repro.store import DurableStore, encode_tree, open_backend, recover
+from repro.workloads import uniform_points
+
+N = 6_000
+N_MODULES = 16
+SEED = 7
+REQUESTS = 1440
+BATCH = 48
+KILL_ROUND = 53   # insert batches cost ~2 BSP rounds each: mid-stream
+BUDGETS = (0.02, 0.2, 1.0)
+COUNTERS = ("cpu_ops", "pim_cycles", "comm_words", "dram_words",
+            "comm_max_words", "rounds")
+
+
+@pytest.fixture(scope="module")
+def crash_data():
+    return uniform_points(N, 3, seed=SEED)
+
+
+def _insert_requests(data):
+    """An insert-only request stream, all arriving at t=0.
+
+    Fixed batching over a pre-filled queue makes batch composition
+    independent of the virtual clock, so a crashed run and its oracle
+    apply the identical update sequence — the precondition for asking
+    for byte-identical final state.  Rebuilt per run: the loop stamps
+    request objects in place.
+    """
+    return make_requests(data, np.zeros(REQUESTS), mix={"insert": 1.0},
+                         seed=SEED + 2)
+
+
+def _serve_run(data, store_path, *, kill_round=None, budget=0.1):
+    plan = (FaultPlan(machine_kill_at=kill_round)
+            if kill_round is not None else None)
+    adapter = make_adapter("pim", data, n_modules=N_MODULES, seed=SEED,
+                           fault_plan=plan)
+    store = DurableStore(open_backend("file", store_path),
+                         budget_fraction=budget)
+    store.attach(adapter.tree)
+    loop = ServeLoop(adapter, AdmissionQueue(REQUESTS),
+                     FixedBatchPolicy(BATCH), store=store)
+    result = loop.run(_insert_requests(data))
+    return result, loop, store, adapter
+
+
+def test_kill_mid_serve_byte_identical_restart(benchmark, crash_data,
+                                               tmp_path):
+    """Whole-machine kill mid-serve → byte-identical index vs the oracle."""
+    out: dict[str, object] = {}
+
+    def run():
+        out["crash"] = _serve_run(crash_data, tmp_path / "crashed",
+                                  kill_round=KILL_ROUND)
+        out["oracle"] = _serve_run(crash_data, tmp_path / "oracle")
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result, loop, store, adapter = out["crash"]
+    o_result, o_loop, _, o_adapter = out["oracle"]
+
+    assert len(loop.restarts) == 1, "the machine kill must fire mid-serve"
+    assert not o_loop.restarts
+    r = loop.restarts[0]
+    assert r["restart_s"] > 0.0
+    # Exactly the in-flight batch was uncommitted; everything else replays.
+    assert r["skipped_uncommitted"] == 1
+    assert result.stats.n_done == REQUESTS == o_result.stats.n_done
+
+    # The recovered system's books: recovery phase exists and is non-zero.
+    stats = adapter.system.stats
+    cm = adapter.tree.cost_model
+    assert "recovery" in stats.phases
+    assert cm.time(stats.phases["recovery"]).total_s > 0.0
+
+    # Byte identity: the crashed run's final index encodes to exactly the
+    # oracle's bytes — same manifest, same topology walk, same chunk
+    # payloads (the exactly-once guarantee, stated as strongly as it can
+    # be stated).
+    img = encode_tree(adapter.tree, wal_seq=0)
+    o_img = encode_tree(o_adapter.tree, wal_seq=0)
+    assert img.manifest == o_img.manifest
+    assert img.topology == o_img.topology
+    assert set(img.chunks) == set(o_img.chunks)
+    for cid in img.chunks:
+        assert img.chunks[cid] == o_img.chunks[cid], f"chunk {cid} diverged"
+
+    # And the answers the index gives are byte-identical too.
+    rng = np.random.default_rng(SEED + 9)
+    queries = crash_data[rng.integers(0, N, size=64)] + 1e-4
+    for (d, p), (od, op) in zip(adapter.tree.knn(queries, 8),
+                                o_adapter.tree.knn(queries, 8)):
+        assert np.array_equal(d, od) and np.array_equal(p, op)
+    boxes = np.stack([queries - 0.05, queries + 0.05], axis=1)
+    assert np.array_equal(adapter.tree.box_count(boxes),
+                          o_adapter.tree.box_count(boxes))
+    adapter.tree.check_invariants()
+
+    print(f"\n=== kill whole machine @ round {KILL_ROUND} "
+          f"({REQUESTS} inserts, batch {BATCH}, P={N_MODULES}) ===")
+    print(f"  killed t={r['killed_at_s'] * 1e3:.3f}ms, TTFQ "
+          f"{r['restart_s'] * 1e3:.3f}ms: snapshot {r['snapshot_words']:,} "
+          f"words + {r['replayed']} WAL batches replayed, "
+          f"{r['skipped_uncommitted']} uncommitted skipped")
+    print(f"  checkpoints: {loop.checkpoints} | final index "
+          f"{adapter.tree.root.count:,} points — byte-identical to oracle")
+    benchmark.extra_info["restart"] = {
+        k: (float(v) if isinstance(v, (int, float)) else v)
+        for k, v in r.items()
+    }
+
+
+@pytest.mark.parametrize("backend_kind", ["file", "sqlite"])
+def test_recovery_charges_book_and_reconcile(benchmark, crash_data, tmp_path,
+                                             backend_kind):
+    """Every restart charge lands in 'recovery'; the trace is bit-exact."""
+    path = (tmp_path / "store.db" if backend_kind == "sqlite"
+            else tmp_path / "store")
+    adapter = make_adapter("pim", crash_data, n_modules=N_MODULES, seed=SEED)
+    store = DurableStore(open_backend(backend_kind, path))
+    store.attach(adapter.tree)
+    rng = np.random.default_rng(SEED + 3)
+    for _ in range(3):
+        adapter.tree.insert(uniform_points(40, 3, seed=rng))
+    adapter.tree.delete(crash_data[:10])
+    adapter.tree.fail_over(2)  # exercises the FAILOVER control record
+    oracle_img = encode_tree(adapter.tree, wal_seq=0)
+
+    out: dict[str, object] = {}
+
+    def run():
+        tracer = TraceCollector()
+        out["res"] = recover(store.backend, tracer=tracer,
+                             cost_model=adapter.tree.cost_model)
+        out["tracer"] = tracer
+        return out["res"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    res, tracer = out["res"], out["tracer"]
+
+    # 3 inserts + 1 delete + the failover control record.
+    assert res.replayed == 5 and res.skipped_uncommitted == 0
+    assert res.system.dead_modules == frozenset({2})
+    img = encode_tree(res.tree, wal_seq=0)
+    assert (img.manifest, img.topology, img.chunks) == (
+        oracle_img.manifest, oracle_img.topology, oracle_img.chunks)
+
+    # Phase pinning: the *only* phase on the fresh system is "recovery",
+    # and it accounts for the system's entire total on every counter.
+    stats = res.system.stats
+    assert sorted(stats.phases) == ["recovery"]
+    rec = stats.phases["recovery"]
+    for name in COUNTERS:
+        assert getattr(stats.total, name) == getattr(rec, name), name
+    problems = tracer.timeline.reconcile(stats)
+    assert not problems, problems
+
+    t = res.tree.cost_model.time(stats.total).total_s
+    print(f"\n=== standalone recovery ({backend_kind} backend) ===")
+    print(f"  {res.replayed} batches replayed over a "
+          f"{res.snapshot_words:,.0f}-word snapshot; dead={{2}} restored; "
+          f"charged {t * 1e3:.3f}ms, 100% under 'recovery', trace exact")
+    benchmark.extra_info["restart_s"] = t
+
+
+def test_snapshot_cadence_sensitivity(benchmark, crash_data, tmp_path):
+    """Checkpoint budget ↑ → WAL replay ↓ → TTFQ ↓ (the durability dial)."""
+    rows: dict[float, dict] = {}
+
+    def run():
+        for budget in BUDGETS:
+            result, loop, store, adapter = _serve_run(
+                crash_data, tmp_path / f"b{budget}",
+                kill_round=KILL_ROUND, budget=budget)
+            assert len(loop.restarts) == 1
+            r = loop.restarts[0]
+            done = [b.dispatch_s + b.service_s for b in result.batches
+                    if b.dispatch_s + b.service_s > r["killed_at_s"]]
+            rows[budget] = {
+                "checkpoints": loop.checkpoints,
+                "checkpoint_ms": loop.checkpoint_time_s * 1e3,
+                "replayed": r["replayed"],
+                "ttfq_ms": r["restart_s"] * 1e3,
+                "ttft_ms": (min(done) - r["killed_at_s"]) * 1e3,
+                "done": result.stats.n_done,
+            }
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n=== snapshot-cadence sensitivity (kill @ round {KILL_ROUND}) "
+          "===")
+    print("  budget   ckpts   ckpt ms   replayed   TTFQ ms   TTFT ms")
+    for budget in BUDGETS:
+        row = rows[budget]
+        print(f"  {budget:6.2f} {row['checkpoints']:7d} "
+              f"{row['checkpoint_ms']:9.3f} {row['replayed']:10d} "
+              f"{row['ttfq_ms']:9.3f} {row['ttft_ms']:9.3f}")
+
+    lo, hi = rows[BUDGETS[0]], rows[BUDGETS[-1]]
+    for row in rows.values():
+        assert row["done"] == REQUESTS
+        assert row["ttfq_ms"] > 0.0 and row["ttft_ms"] >= row["ttfq_ms"]
+    assert hi["checkpoints"] >= lo["checkpoints"]
+    assert hi["replayed"] <= lo["replayed"], (
+        "a bigger checkpoint budget cannot lengthen the WAL replay")
+    benchmark.extra_info["cadence"] = {str(b): rows[b] for b in BUDGETS}

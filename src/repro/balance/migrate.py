@@ -66,6 +66,13 @@ def execute_plan(tree, plan: MigrationPlan) -> dict:
                 sys.set_placement_override(("meta", meta.root.nid), mv.dst)
                 words_moved += total
         tree.refresh_residency()
+    # Journal the moves (self-committed control record) so recovery after
+    # a later crash re-pins each chunk to its migrated module.
+    journal = getattr(tree, "journal", None)
+    if journal is not None:
+        journal.log_migrate(
+            [(mv.meta.root.nid, mv.dst) for mv in plan.moves]
+        )
     return {
         "moves": len(plan.moves),
         "words_moved": float(words_moved),

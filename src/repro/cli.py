@@ -10,6 +10,9 @@ Examples::
     python -m repro.cli serve --arrival poisson --load 0.8 --out latency.json
     python -m repro.cli faults --drop-rate 0.02 --crash 3@40 --retries 3
     python -m repro.cli balance --dataset varden --steps 24 --out balance.json
+    python -m repro.cli store demo --kill-round 30 --path /tmp/zd-store
+    python -m repro.cli store inspect --path /tmp/zd-store
+    python -m repro.cli store recover --path /tmp/zd-store
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
 report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
@@ -24,7 +27,12 @@ hash-colocated hot module with an adversarial kNN stream and serves it
 twice — rebalance off, then on — reporting the throughput recovery, the
 chunk migrations and the ``"rebalance"`` phase's share of simulated
 time; ``serve``/``faults`` accept ``--rebalance`` to step the online
-rebalancer between batches of an open-loop run.
+rebalancer between batches of an open-loop run.  ``store`` drives the
+durable tier: ``demo`` serves with checkpoint + WAL attached (optionally
+killing the whole machine mid-run and restarting from disk, charged
+under the ``"recovery"`` phase), ``inspect`` prints an on-disk store's
+manifest and WAL record table, and ``recover`` rebuilds the index from
+disk and reports the charged restart cost.
 """
 
 from __future__ import annotations
@@ -170,6 +178,43 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="chunk moves per migration invocation")
     p_bl.add_argument("--out", type=Path, default=None,
                       help="path for the JSON comparison report")
+
+    p_st = sub.add_parser(
+        "store",
+        help="durable storage tier: checkpointed serving with an optional "
+             "whole-machine kill + charged crash-restart, or inspect/"
+             "recover an on-disk store",
+    )
+    p_st.add_argument("action", choices=["demo", "inspect", "recover"],
+                      help="demo: serve with checkpoint/WAL attached; "
+                           "inspect: print a store's manifest + WAL table; "
+                           "recover: rebuild the index from disk")
+    _add_common(p_st)
+    p_st.add_argument("--dataset", default="uniform", choices=sorted(DATASETS),
+                      help="workload distribution (demo)")
+    p_st.add_argument("--backend", default="file",
+                      choices=["file", "sqlite"], help="storage backend")
+    p_st.add_argument("--path", type=Path, default=None,
+                      help="store location (directory for file, db file for "
+                           "sqlite; demo defaults to a fresh temp dir)")
+    p_st.add_argument("--requests", type=int, default=400,
+                      help="offered requests (demo)")
+    p_st.add_argument("--load", type=float, default=0.8,
+                      help="offered load as a fraction of calibrated "
+                           "capacity (demo)")
+    p_st.add_argument("--mix", default="knn=0.5,insert=0.35,bc=0.1,bf=0.05",
+                      help="request mix (demo)")
+    p_st.add_argument("--k", type=int, default=10, help="k for kNN requests")
+    p_st.add_argument("--kill-round", type=int, default=None,
+                      help="BSP round at which the whole machine is killed "
+                           "(demo; omit for a crash-free checkpointing run)")
+    p_st.add_argument("--budget-fraction", type=float, default=0.05,
+                      help="checkpoint time budget as a fraction of "
+                           "service time (demo)")
+    p_st.add_argument("--max-restarts", type=int, default=4,
+                      help="crash-restarts before the loop gives up (demo)")
+    p_st.add_argument("--out", type=Path, default=None,
+                      help="path for the latency + store-event JSON (demo)")
     return parser
 
 
@@ -769,6 +814,202 @@ def _run_balance(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _store_backend(args: argparse.Namespace, path: Path):
+    from .store import open_backend
+
+    return open_backend(args.backend, path)
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    """The ``store`` subcommand: durable tier demo / inspect / recover."""
+    from .store import SnapshotStore, StoreError, committed_seqs, scan_wal
+
+    if args.action in ("inspect", "recover"):
+        if args.path is None:
+            print(f"error: --path is required for {args.action}")
+            return 2
+        try:
+            backend = _store_backend(args, args.path)
+        except (OSError, StoreError) as e:
+            print(f"error: cannot open store at {args.path}: {e}")
+            return 2
+
+    if args.action == "inspect":
+        try:
+            image = SnapshotStore(backend).load_image()
+        except StoreError as e:
+            print(f"error: {e}")
+            return 1
+        man = image.manifest
+        tree_m, sys_m = man["tree"], man["system"]
+        print(f"=== store — {args.backend} backend at {args.path} ===")
+        print(f"snapshot: v{man['version']}, covers WAL seq <= "
+              f"{man['wal_seq']}; {tree_m['size']:,} points, "
+              f"dims={tree_m['dims']}, P={sys_m['n_modules']}, "
+              f"seed={sys_m['seed']}, "
+              f"dead={sys_m['dead_modules'] or 'none'}")
+        print(f"chunks: {len(image.chunks)} ({image.total_bytes:,} bytes "
+              f"incl. topology)")
+        raw = backend.wal_read()
+        try:
+            records, torn = scan_wal(raw)
+        except StoreError as e:
+            print(f"WAL CORRUPT: {e}")
+            return 1
+        committed = committed_seqs(records)
+        print(f"\nWAL: {len(raw):,} bytes, {len(records)} records")
+        for r in records:
+            mark = ("committed" if r.seq in committed else "UNCOMMITTED"
+                    ) if r.kind_name in ("insert", "delete") else "control"
+            print(f"  @{r.offset:<8} seq={r.seq:<6} {r.kind_name:<9} "
+                  f"{len(r.payload):>8}B  {mark}")
+        if torn is not None:
+            print(f"  torn tail at byte {torn.offset}: {torn.reason} "
+                  f"({torn.dropped_bytes}B dropped on replay)")
+        return 0
+
+    if args.action == "recover":
+        from .obs import TraceCollector
+        from .store import recover
+
+        tracer = TraceCollector()
+        try:
+            res = recover(backend, tracer=tracer)
+        except StoreError as e:
+            print(f"error: recovery refused: {e}")
+            return 1
+        stats = res.system.stats
+        t = res.tree.cost_model.time(stats.total)
+        print(f"=== recover — {args.backend} backend at {args.path} ===")
+        print(f"snapshot seq {res.snapshot_seq} ({res.snapshot_words:,.0f} "
+              f"words) + {res.wal_records} WAL records: {res.replayed} "
+              f"replayed, {res.skipped_uncommitted} uncommitted skipped"
+              + (", torn tail dropped" if res.torn_tail else ""))
+        print(f"index: {res.tree.root.count:,} points on "
+              f"{res.system.n_live}/{res.system.n_modules} modules")
+        print(f"charged restart cost: {t.total_s * 1e3:.3f}ms simulated, "
+              f"all under the 'recovery' phase "
+              f"(phases: {sorted(stats.phases)})")
+        problems = tracer.timeline.reconcile(stats)
+        print("trace reconciles exactly" if not problems
+              else f"RECONCILIATION FAILED: {problems}")
+        return 1 if problems else 0
+
+    # ------------------------------------------------------------- demo
+    import math
+    import tempfile
+
+    from .eval.experiments import _dataset
+    from .eval.harness import make_adapter
+    from .faults import FaultPlan
+    from .obs import TraceCollector, write_latency
+    from .serve import (
+        AdaptiveBatchPolicy,
+        AdmissionQueue,
+        ServeLoop,
+        calibrate_capacity,
+        make_requests,
+    )
+    from .store import DurableStore
+    from .workloads import poisson_arrivals
+
+    n = args.n or 20_000
+    n_modules = args.n_modules or 32
+    seed = args.seed if args.seed is not None else 7
+    try:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, w = part.strip().partition("=")
+            mix[kind] = float(w)
+    except ValueError:
+        print(f"error: malformed --mix {args.mix!r}")
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1")
+        return 2
+
+    path = args.path
+    if path is None:
+        tmp = Path(tempfile.mkdtemp(prefix="repro-store-"))
+        path = tmp / "store.db" if args.backend == "sqlite" else tmp
+    backend = _store_backend(args, path)
+
+    data = _dataset(args.dataset, n, seed)
+    probe = make_adapter("pim", data, n_modules=n_modules, seed=seed)
+    capacity = calibrate_capacity(probe, data, k=args.k, seed=seed)
+    rate = args.load * capacity
+    print(f"calibrated capacity ≈ {capacity:.0f} req/s; offering "
+          f"{args.load:.2f}x = {rate:.0f} req/s")
+    arrivals = poisson_arrivals(rate, args.requests, seed=seed + 1)
+    try:
+        requests = make_requests(data, arrivals, mix=mix, k=args.k,
+                                 deadline_s=math.inf, seed=seed + 2)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+
+    plan = (FaultPlan(machine_kill_at=args.kill_round)
+            if args.kill_round is not None else None)
+    tracer = TraceCollector()
+    adapter = make_adapter("pim", data, n_modules=n_modules, seed=seed,
+                           fault_plan=plan, tracer=tracer)
+    store = DurableStore(backend, budget_fraction=args.budget_fraction)
+    store.attach(adapter.tree)
+    loop = ServeLoop(adapter, AdmissionQueue(1024), AdaptiveBatchPolicy(),
+                     store=store, max_restarts=args.max_restarts)
+    result = loop.run(requests)
+
+    print(f"=== store demo — {args.dataset}, n={n}, P={n_modules}, "
+          f"{args.backend} backend at {path} ===")
+    print(result.stats.table())
+    print(f"\ncheckpoints: {loop.checkpoints} "
+          f"({loop.checkpoint_time_s * 1e3:.3f}ms of simulated time); "
+          f"WAL records pending: {store.dirty_records}")
+    for r in loop.restarts:
+        print(f"machine killed at t={r['killed_at_s'] * 1e3:.3f}ms, "
+              f"recovered at t={r['recovered_at_s'] * 1e3:.3f}ms "
+              f"(restart {r['restart_s'] * 1e3:.3f}ms = time-to-first-query; "
+              f"{r['replayed']} replayed, "
+              f"{r['skipped_uncommitted']} uncommitted skipped)")
+    if plan is not None and not loop.restarts:
+        print("no machine kill fired (too few BSP rounds before --kill-round?)")
+
+    stats = adapter.system.stats
+    rec = stats.phases.get("recovery")
+    if rec is not None:
+        t = adapter.tree.cost_model.time(rec)
+        total_t = adapter.tree.cost_model.time(stats.total)
+        share = 100.0 * t.total_s / total_t.total_s if total_t.total_s else 0.0
+        print(f"recovery phase: {t.total_s * 1e3:.3f}ms simulated "
+              f"({share:.2f}% of the post-restart system's sim time)")
+
+    # The serve tracer watches the pre-crash system, whose stats die with
+    # the kill — so after a restart, reconcile a *fresh* standalone
+    # recovery instead (every charge on that system is recovery, traced
+    # from birth).  Crash-free runs reconcile the serve trace directly.
+    if loop.restarts:
+        from .store import recover
+
+        tracer2 = TraceCollector()
+        res = recover(backend, tracer=tracer2,
+                      cost_model=adapter.tree.cost_model)
+        problems = tracer2.timeline.reconcile(res.system.stats)
+        print("recovery trace reconciles exactly" if not problems
+              else f"RECOVERY RECONCILIATION FAILED: {problems}")
+    else:
+        problems = tracer.timeline.reconcile(stats)
+        print("trace reconciles exactly" if not problems
+              else f"RECONCILIATION FAILED: {problems}")
+
+    if args.out is not None:
+        write_latency(result.stats, json_path=args.out,
+                      batches=result.batches,
+                      faults=plan.events if plan is not None else None,
+                      store_events=store.events, restarts=loop.restarts)
+        print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -793,6 +1034,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "balance":
         return _run_balance(args)
+
+    if args.command == "store":
+        return _run_store(args)
 
     if args.command == "all":
         kwargs = _kwargs_from(args)

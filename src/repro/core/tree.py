@@ -83,6 +83,9 @@ class PIMZdTree:
         # 2x staleness rule that amortises re-chunking (§3.2).
         self._meta_built_sc: dict[MetaNode, int] = {}
         self.last_executor = None
+        # Write-ahead journal (repro.store): attached by DurableStore so
+        # insert/delete append before mutating; None means no durability.
+        self.journal = None
 
         with self.system.phase("build"):
             keys = self.encode_keys(points)

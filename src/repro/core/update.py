@@ -69,6 +69,11 @@ def insert_batch(tree, points: np.ndarray) -> None:
     if points.shape[1] != tree.dims:
         raise ValueError("dimension mismatch")
     sys = tree.system
+    # Write-ahead: journal the batch before any mutation; the COMMIT
+    # marker lands only after the batch fully applied, so recovery replays
+    # exactly the batches that completed (repro.store).
+    journal = tree.journal
+    wal_seq = None if journal is None else journal.log_insert(points)
     with sys.phase("insert"):
         results = search_batch(tree, points, phase="insert")
 
@@ -141,6 +146,8 @@ def insert_batch(tree, points: np.ndarray) -> None:
         tree.rechunk_stale()
     invalidate_exec_caches(tree)
     tree.refresh_residency()
+    if wal_seq is not None:
+        journal.commit(wal_seq)
 
 
 def _merge_target(tree, target: Node, keys: np.ndarray, pts: np.ndarray,
@@ -534,6 +541,9 @@ def delete_batch(tree, points: np.ndarray) -> int:
         raise ValueError("dimension mismatch")
     sys = tree.system
     before = tree.root.count
+    # Write-ahead, committed only after the batch applied (see insert).
+    journal = tree.journal
+    wal_seq = None if journal is None else journal.log_delete(points)
     with sys.phase("delete"):
         results = search_batch(tree, points, phase="delete")
         n = len(results)
@@ -616,6 +626,8 @@ def delete_batch(tree, points: np.ndarray) -> int:
     tree.refresh_residency()
     if tree.root.count == 0:
         raise ValueError("delete emptied the tree; PIM-zd-tree requires >= 1 point")
+    if wal_seq is not None:
+        journal.commit(wal_seq)
     return before - tree.root.count
 
 

@@ -199,6 +199,34 @@ class PIMZdTreeAdapter:
         :func:`repro.faults.fail_over`); returns meta-nodes moved."""
         return self.tree.fail_over(mid)["metas_moved"]
 
+    def crash_restart(self, store, *, tracer=None) -> tuple[float, dict]:
+        """Restart from the durable tier after a whole-machine kill.
+
+        Recovers tree + system from ``store`` (a
+        :class:`repro.store.DurableStore`), swaps them into the adapter,
+        and re-attaches the old system's fault plan (its fired
+        ``machine_killed`` flag prevents an immediate re-kill).  Returns
+        ``(restart seconds, recovery info)``: the recovered system is
+        fresh, so *every* counter on it is restart cost — converting its
+        stats through the cost model gives the time-to-first-query
+        denominator directly.
+        """
+        plan = self.system.fault_plan
+        res = store.recover(tracer=tracer, cost_model=self.tree.cost_model)
+        self.system = res.system
+        self.tree = res.tree
+        if plan is not None:
+            self.system.attach_faults(plan)
+        t = self.tree.cost_model.time(self.system.stats.total)
+        info = {
+            "replayed": res.replayed,
+            "skipped_uncommitted": res.skipped_uncommitted,
+            "wal_records": res.wal_records,
+            "snapshot_words": res.snapshot_words,
+            "torn_tail": res.torn_tail is not None,
+        }
+        return t.total_s, info
+
 
 class _BaselineAdapter:
     """Common measurement plumbing for the shared-memory baselines."""

@@ -22,7 +22,7 @@ and degrades gracefully when retries are exhausted; see
 ``ServeLoop``.  Driven from the CLI via ``python -m repro.cli faults``.
 """
 
-from .errors import FaultError, MessageLoss, ModuleFailure
+from .errors import FaultError, MachineKill, MessageLoss, ModuleFailure
 from .plan import FaultEvent, FaultPlan
 from .recovery import fail_over
 
@@ -30,6 +30,7 @@ __all__ = [
     "FaultError",
     "FaultEvent",
     "FaultPlan",
+    "MachineKill",
     "MessageLoss",
     "ModuleFailure",
     "fail_over",

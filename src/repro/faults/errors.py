@@ -9,7 +9,7 @@ simulator only lazily.
 
 from __future__ import annotations
 
-__all__ = ["FaultError", "ModuleFailure", "MessageLoss"]
+__all__ = ["FaultError", "ModuleFailure", "MessageLoss", "MachineKill"]
 
 
 class FaultError(RuntimeError):
@@ -42,3 +42,20 @@ class MessageLoss(FaultError):
         self.mid = int(mid)
         self.direction = direction
         self.words = float(words)
+
+
+class MachineKill(FaultError):
+    """The whole machine (host + all modules) went down.
+
+    Raised at the next BSP round entry after a ``machine_kill`` fault
+    event landed: in-memory state — the host-resident canonical index and
+    every module's shard — is gone, and only the durable tier
+    (``repro.store``) can bring the service back.  The serving loop
+    catches this above :class:`ModuleFailure` and restarts from disk.
+    """
+
+    def __init__(self, round_index: int) -> None:
+        super().__init__(
+            f"machine killed (detected at BSP round {round_index})"
+        )
+        self.round_index = int(round_index)

@@ -39,7 +39,7 @@ __all__ = ["FaultEvent", "FaultPlan"]
 class FaultEvent:
     """One injected fault, stamped with the BSP round it happened in."""
 
-    kind: str  # "crash" | "drop" | "storm" | "kill"
+    kind: str  # "crash" | "drop" | "storm" | "kill" | "machine_kill"
     mid: int  # module concerned
     round_index: int  # charged-round counter at injection time
     value: float  # words lost / slowdown factor / 0.0
@@ -70,6 +70,7 @@ class FaultPlan:
         storm_rate: float = 0.0,
         storm_factor: float = 8.0,
         storm_rounds: int = 4,
+        machine_kill_at: int | None = None,
     ) -> None:
         for name, rate in (("crash_rate", crash_rate), ("drop_rate", drop_rate),
                            ("storm_rate", storm_rate)):
@@ -81,6 +82,8 @@ class FaultPlan:
             raise ValueError("storm_rounds must be >= 1")
         if slow_factors and any(f < 1.0 for f in slow_factors.values()):
             raise ValueError("slow_factors entries must be >= 1")
+        if machine_kill_at is not None and machine_kill_at < 0:
+            raise ValueError("machine_kill_at must be a round index >= 0")
         self.seed = int(seed)
         self.crash_at = {int(m): int(r) for m, r in (crash_at or {}).items()}
         self.crash_rate = float(crash_rate)
@@ -90,6 +93,14 @@ class FaultPlan:
         self.storm_rate = float(storm_rate)
         self.storm_factor = float(storm_factor)
         self.storm_rounds = int(storm_rounds)
+        # Whole-machine kill: fires once when this many rounds have been
+        # charged, tearing down host + modules (see MachineKill).  The
+        # fired flag survives re-attachment to the recovered system, so a
+        # restart does not immediately re-kill itself.
+        self.machine_kill_at = (
+            None if machine_kill_at is None else int(machine_kill_at)
+        )
+        self.machine_killed = False
 
         self._rng = np.random.default_rng(self.seed)
         self._storms: dict[int, int] = {}  # mid -> rounds of storm left
@@ -181,6 +192,12 @@ class FaultPlan:
                     break
                 if self._rng.random() < self.crash_rate:
                     out.append(self._crash(mid, round_index, "random"))
+        # Whole-machine kill (fires once).
+        if (self.machine_kill_at is not None and not self.machine_killed
+                and round_index >= self.machine_kill_at):
+            self.machine_killed = True
+            out.append(FaultEvent("machine_kill", -1, round_index, 0.0,
+                                  "scheduled"))
         # Straggler storms.
         if self.storm_rate > 0.0 and self._rng.random() < self.storm_rate:
             candidates = [m for m in live_mids if m not in self.crashed]

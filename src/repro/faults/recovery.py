@@ -64,6 +64,11 @@ def fail_over(tree, dead_mid: int) -> dict:
                     sys.send(meta.module, total)
                     words_moved += total
         tree.refresh_residency()
+    # Journal the failover (self-committed control record) so a crash
+    # after this point replays the same re-placement from the snapshot.
+    journal = getattr(tree, "journal", None)
+    if journal is not None:
+        journal.log_failover(dead_mid)
     return {
         "module": int(dead_mid),
         "metas_moved": len(moved),

@@ -138,20 +138,29 @@ def sanitize_json(value):
     return value
 
 
-def latency_json(stats, *, batches=None, faults=None) -> dict:
+def latency_json(stats, *, batches=None, faults=None,
+                 store_events=None, restarts=None) -> dict:
     """JSON document for a serve run's :class:`~repro.serve.LatencyStats`.
 
     ``batches`` (the run's :class:`~repro.serve.BatchRecord` list) and
     ``faults`` (injected :class:`~repro.faults.FaultEvent` list) are
     embedded when given, so the batch-size/amortisation trajectory and the
-    fault schedule can be analysed offline.  Non-finite floats are
-    serialised as ``null`` (strict JSON).
+    fault schedule can be analysed offline.  ``store_events`` (a
+    :class:`repro.store.DurableStore`'s checkpoint/recover log) and
+    ``restarts`` (the serve loop's machine-restart records) are embedded
+    the same way for durability runs; all four keys are omitted entirely
+    when not given, so pre-existing documents are byte-unchanged.
+    Non-finite floats are serialised as ``null`` (strict JSON).
     """
     doc: dict = {"format": "repro.obs/serve-1", "stats": stats.to_dict()}
     if batches is not None:
         doc["batches"] = [b.to_dict() for b in batches]
     if faults is not None:
         doc["faults"] = [ev.to_dict() for ev in faults]
+    if store_events is not None:
+        doc["store_events"] = list(store_events)
+    if restarts is not None:
+        doc["restarts"] = list(restarts)
     return sanitize_json(doc)
 
 
@@ -176,9 +185,10 @@ def latency_csv(stats) -> str:
 
 
 def write_latency(stats, json_path=None, csv_path=None, *, batches=None,
-                  faults=None) -> dict:
+                  faults=None, store_events=None, restarts=None) -> dict:
     """Write the serve-latency JSON and/or CSV; returns the JSON document."""
-    doc = latency_json(stats, batches=batches, faults=faults)
+    doc = latency_json(stats, batches=batches, faults=faults,
+                       store_events=store_events, restarts=restarts)
     if json_path is not None:
         Path(json_path).write_text(
             json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)

@@ -58,7 +58,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from ..faults.errors import MessageLoss, ModuleFailure
+from ..faults.errors import MachineKill, MessageLoss, ModuleFailure
 from .cache import LRUCache
 from .module import PIMModule
 from .stats import PIMStats
@@ -138,6 +138,7 @@ class PIMSystem:
         self.seed = seed
         self._salt = str(seed).encode()
         self._phase_stack: list[str] = []
+        self._pin_depth = 0  # >0: inner phase() calls do not relabel
         self._in_round = False
         self._round_dirty: set[int] = set()
         self._round_entry_phase = "other"
@@ -145,6 +146,10 @@ class PIMSystem:
         self._trace = tracer
         self._faults = fault_plan
         self._dead: set[int] = set()  # decommissioned module ids
+        # Whole-machine kill: set by a "machine_kill" fault event at round
+        # close; the *next* round entry raises MachineKill (the last round
+        # books normally — its results were already on the wire).
+        self._machine_dead = False
         # Outcome of the most recent broadcast: (delivered_mids,
         # dropped_mids) as tuples in module-id order.  Under a drop-prone
         # fault plan the fan-out is atomic per module: every live module
@@ -243,6 +248,27 @@ class PIMSystem:
         m.failed = True
         m.master_words = 0.0
         m.cache_words = 0.0
+
+    @property
+    def machine_dead(self) -> bool:
+        """True once a whole-machine kill landed; rounds now refuse to run."""
+        return self._machine_dead
+
+    def kill_machine(self) -> None:
+        """Externally kill the whole machine (CLI / tests).
+
+        The next BSP round entry raises
+        :class:`~repro.faults.MachineKill`; only the durable tier can
+        bring the service back (see :mod:`repro.store`).
+        """
+        self._machine_dead = True
+        if self._trace is not None:
+            from ..faults.plan import FaultEvent
+
+            self._notify_fault(
+                FaultEvent("machine_kill", -1, self._rounds_charged, 0.0,
+                           "manual")
+            )
 
     def kill_module(self, mid: int) -> None:
         """Externally crash module ``mid`` (CLI / tests), recording the event."""
@@ -373,13 +399,29 @@ class PIMSystem:
         return self._phase_stack[-1] if self._phase_stack else "other"
 
     @contextmanager
-    def phase(self, label: str):
-        """Attribute subsequent charges to ``label`` (nested: innermost wins)."""
+    def phase(self, label: str, *, pin: bool = False):
+        """Attribute subsequent charges to ``label`` (nested: innermost wins).
+
+        With ``pin=True`` the label also *wins against its descendants*:
+        while a pinned phase is active, inner unpinned ``phase()`` calls
+        are no-ops, so code that normally books under its own labels
+        ("insert", "wal", …) books under the pinned one instead.  Used by
+        the durable tier's recovery path, which replays journaled batches
+        through the ordinary operation code but must land every charge in
+        the "recovery" bucket.
+        """
+        if self._pin_depth and not pin:
+            yield
+            return
         self._phase_stack.append(label)
+        if pin:
+            self._pin_depth += 1
         try:
             yield
         finally:
             self._phase_stack.pop()
+            if pin:
+                self._pin_depth -= 1
 
     # ------------------------------------------------------------------
     # CPU side
@@ -460,6 +502,8 @@ class PIMSystem:
         """
         if self._in_round:
             raise RuntimeError("BSP rounds cannot nest")
+        if self._machine_dead:
+            raise MachineKill(self._rounds_charged)
         self._in_round = True
         self._round_dirty.clear()
         self._round_entry_phase = self.current_phase
@@ -492,6 +536,8 @@ class PIMSystem:
                     if self.n_live <= 1:
                         continue  # never crash the last live module
                     self.decommission(ev.mid)
+                elif ev.kind == "machine_kill":
+                    self._machine_dead = True
                 self._notify_fault(ev)
 
     def _book_round_scalar(self) -> None:

@@ -37,7 +37,7 @@ from .loop import BatchRecord, ServeLoop, ServeResult
 from .queue import AdmissionQueue, OVERFLOW_POLICIES
 from .request import KINDS, Request, make_requests
 from .stats import LatencyStats, latency_summary
-from .sweep import SweepResult, run_shard, run_sweep
+from .sweep import SweepResult, SweepShardError, run_shard, run_sweep
 
 __all__ = [
     "AdaptiveBatchPolicy",
@@ -51,6 +51,7 @@ __all__ = [
     "ServeLoop",
     "ServeResult",
     "SweepResult",
+    "SweepShardError",
     "calibrate_capacity",
     "latency_summary",
     "make_requests",

@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..faults.errors import FaultError, ModuleFailure
+from ..faults.errors import FaultError, MachineKill, ModuleFailure
 from .queue import AdmissionQueue
 from .request import DEGRADED, DONE, FAILED, Request
 from .stats import LatencyStats
@@ -120,12 +120,29 @@ class ServeLoop:
         rebalance time is capped at the rebalancer's ``budget_fraction``
         of cumulative service time, so migration is amortised against the
         work it speeds up.
+    store:
+        A :class:`repro.store.DurableStore` already attached to the
+        adapter's tree (``None`` disables durability — the default, with
+        zero behavioral change).  Two effects: snapshot checkpoints run
+        between batches under the store's ``budget_fraction`` gate
+        (identical cadence mechanics to rebalancing, skipped while the
+        journal is clean), and a whole-machine
+        :class:`~repro.faults.MachineKill` triggers a charged crash
+        restart (``adapter.crash_restart``) instead of killing the run —
+        the killed batch retries on the recovered machine, and because
+        its uncommitted journal record is skipped on replay, the retry is
+        exactly-once.  Restart wall-clock (virtual) is billed to the
+        batch and recorded in :attr:`restarts`.
+    max_restarts:
+        Machine restarts tolerated before the kill propagates (safety
+        valve against a kill-loop).
     """
 
     def __init__(self, adapter, queue: AdmissionQueue, policy, *,
                  max_retries: int = 3, backoff_s: float = 1e-4,
                  timeout_s: float | None = None, degraded_mode: bool = True,
-                 failover: bool = True, rebalancer=None) -> None:
+                 failover: bool = True, rebalancer=None, store=None,
+                 max_restarts: int = 4) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if backoff_s < 0:
@@ -139,13 +156,21 @@ class ServeLoop:
         self.backoff_s = float(backoff_s)
         self.timeout_s = timeout_s
         self.degraded_mode = bool(degraded_mode)
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
         self.failover = bool(failover)
         self.rebalancer = rebalancer
+        self.store = store
+        self.max_restarts = int(max_restarts)
         self._recovered: set[int] = set()  # modules already failed over
-        # Cumulative virtual seconds: service vs rebalance (budget gate).
+        # Cumulative virtual seconds: service vs rebalance/checkpoint
+        # (both budget-gated against service time).
         self.service_time_s = 0.0
         self.rebalance_time_s = 0.0
         self.rebalance_steps = 0
+        self.checkpoint_time_s = 0.0
+        self.checkpoints = 0
+        self.restarts: list[dict] = []  # one record per machine restart
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeResult:
@@ -171,7 +196,7 @@ class ServeLoop:
             group = self.queue.head_group()
             size = self.policy.batch_size(group, self.queue.backlog(group))
             batch = self.queue.take(group, size)
-            service_s, elements, status, retries = self._dispatch(batch)
+            service_s, elements, status, retries = self._dispatch(batch, now)
             end = now + service_s
             for r in batch:
                 r.dispatch_s = now
@@ -216,15 +241,37 @@ class ServeLoop:
                             self.queue.offer(pending[i], pending[i].arrival_s)
                             i += 1
                         now = end
+            # Snapshot checkpoint between batches, inside its own time
+            # budget (same amortisation mechanics as rebalancing): only
+            # when the journal has records the last snapshot doesn't
+            # cover, and only while cumulative checkpoint time stays
+            # under the store's budget fraction of service time.
+            if (self.store is not None and self.store.dirty_records > 0
+                    and self.checkpoint_time_s
+                    <= self.store.budget_fraction * self.service_time_s):
+                m = self.adapter.measure(
+                    lambda: (self.store.checkpoint(self.adapter.tree), 0)[1]
+                )
+                self.checkpoints += 1
+                if m.sim_time_s > 0.0:
+                    self.checkpoint_time_s += m.sim_time_s
+                    end = now + m.sim_time_s
+                    while i < n and pending[i].arrival_s <= end:
+                        self.queue.offer(pending[i], pending[i].arrival_s)
+                        i += 1
+                    now = end
         return ServeResult(requests=pending, batches=batches)
 
     # ------------------------------------------------------------------
-    def _dispatch(self, batch: list[Request]) -> tuple[float, int, str, int]:
-        """Execute one batch with retry/failover/degradation.
+    def _dispatch(self, batch: list[Request], now: float = 0.0
+                  ) -> tuple[float, int, str, int]:
+        """Execute one batch with retry/failover/degradation/restart.
 
         Returns ``(service seconds, elements, terminal status, retries)``.
         The service time accumulates every failed attempt, recovery,
-        compensation and backoff — the full price the batch paid.
+        compensation, backoff and machine restart — the full price the
+        batch paid.  ``now`` is the batch's dispatch instant, used to
+        stamp restart records in virtual time.
         """
         kind = batch[0].kind
         total_s = 0.0
@@ -233,6 +280,30 @@ class ServeLoop:
             try:
                 service_s, elements = self._execute(batch)
                 return total_s + service_s, elements, DONE, attempt
+            except MachineKill as e:
+                # The whole machine is gone: every in-memory structure is
+                # lost.  With a durable store attached, restart from disk
+                # (charged — the recovered system's counters convert to
+                # the restart seconds billed here) and retry the batch.
+                # The killed batch's journal record is uncommitted, so
+                # replay skipped it and this retry is exactly-once.
+                m = getattr(e, "measurement", None)
+                if m is not None:
+                    total_s += m.sim_time_s
+                if (self.store is None
+                        or not hasattr(self.adapter, "crash_restart")
+                        or len(self.restarts) >= self.max_restarts):
+                    raise
+                killed_at = now + total_s
+                restart_s, info = self.adapter.crash_restart(self.store)
+                total_s += restart_s
+                self.restarts.append({
+                    "killed_at_s": killed_at,
+                    "recovered_at_s": killed_at + restart_s,
+                    "restart_s": restart_s,
+                    "batch_kind": kind,
+                    **info,
+                })
             except FaultError as e:
                 m = getattr(e, "measurement", None)
                 if m is not None:

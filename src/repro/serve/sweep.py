@@ -27,13 +27,35 @@ from __future__ import annotations
 import math
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .stats import latency_summary
 
-__all__ = ["SweepResult", "run_shard", "run_sweep"]
+__all__ = ["SweepResult", "SweepShardError", "run_shard", "run_sweep"]
+
+
+class SweepShardError(RuntimeError):
+    """One shard of a sweep failed.
+
+    Raised by :func:`run_sweep` in the *calling* process whichever way the
+    shard ran (inline or in a worker), so a failure surfaces as one
+    exception naming the shard index and its seed — enough to re-run just
+    that shard with ``run_shard`` — instead of a bare multiprocessing
+    traceback with no indication of which replica died.  The worker-side
+    traceback is preserved on ``worker_traceback``.
+    """
+
+    def __init__(self, shard_index: int, seed: int, message: str,
+                 worker_traceback: str | None = None) -> None:
+        super().__init__(
+            f"sweep shard {shard_index} (seed {seed}) failed: {message}"
+        )
+        self.shard_index = int(shard_index)
+        self.seed = int(seed)
+        self.worker_traceback = worker_traceback
 
 
 @dataclass
@@ -155,6 +177,36 @@ def run_shard(spec: dict) -> dict:
     }
 
 
+def _run_shard_trapped(spec: dict) -> dict:
+    """``run_shard`` with failures reified as a picklable marker dict.
+
+    A worker process cannot raise a rich exception across the pool
+    boundary without losing the shard identity, so failures travel home
+    as data and :func:`run_sweep` re-raises them as
+    :class:`SweepShardError`.  Module-level so it pickles under spawn;
+    dispatches through the module global so tests can monkeypatch
+    ``run_shard`` (fork workers inherit the patch).
+    """
+    try:
+        return run_shard(spec)
+    except Exception as exc:  # noqa: BLE001 - reified, re-raised by caller
+        return {
+            "shard_error": {
+                "shard_index": int(spec.get("shard", -1)),
+                "seed": int(spec["seed"]),
+                "message": f"{type(exc).__name__}: {exc}",
+                "worker_traceback": traceback.format_exc(),
+            }
+        }
+
+
+def _raise_if_failed(shards: list[dict]) -> None:
+    for s in shards:
+        err = s.get("shard_error")
+        if err is not None:
+            raise SweepShardError(**err)
+
+
 # ======================================================================
 # the sweep
 # ======================================================================
@@ -174,7 +226,7 @@ def _shard_specs(*, procs: int, total_requests: int, seed: int,
         reqs = base + (1 if i < extra else 0)
         if reqs == 0:
             continue
-        specs.append({**spec_kw, "seed": int(seed + 1000 * i),
+        specs.append({**spec_kw, "shard": i, "seed": int(seed + 1000 * i),
                       "requests": reqs})
     return specs
 
@@ -226,7 +278,7 @@ def run_sweep(
 
     t0 = time.perf_counter()
     if procs <= 1 or len(specs) == 1:
-        shards = [run_shard(s) for s in specs]
+        shards = [_run_shard_trapped(s) for s in specs]
     else:
         import multiprocessing as mp
 
@@ -235,7 +287,8 @@ def run_sweep(
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = mp.get_context("spawn")
         with ctx.Pool(processes=len(specs)) as pool:
-            shards = pool.map(run_shard, specs)
+            shards = pool.map(_run_shard_trapped, specs)
+    _raise_if_failed(shards)
     wall = time.perf_counter() - t0
 
     lat = np.concatenate([np.asarray(s["latency_s"]) for s in shards]) \

@@ -1,0 +1,46 @@
+"""repro.store — the durable tier: COW snapshots + WAL + charged recovery.
+
+Every reliability result before this subsystem assumed the host-resident
+canonical index survives; a real deployment does not get that assumption.
+The durable tier closes the gap with three cooperating pieces:
+
+* **snapshots** (:mod:`.snapshot`) — periodic copy-on-write images of the
+  host index, content-addressed per chunk so clean chunks are never
+  rewritten;
+* **the WAL** (:mod:`.wal`) — an append-only checksummed journal that
+  ``insert_batch``/``delete_batch`` write ahead of mutation;
+* **recovery** (:mod:`.recovery`) — snapshot load + committed-prefix
+  replay + bulk re-upload, all charged under a pinned ``"recovery"``
+  phase so PIMStats book the true restart cost.
+
+:class:`DurableStore` is the lifecycle front door the serve loop uses;
+:func:`open_backend` picks between the file and sqlite backends.
+"""
+
+from .backend import FileBackend, SQLiteBackend, open_backend
+from .errors import SnapshotCorruption, StoreError, WALCorruption
+from .manager import DurableStore
+from .recovery import RecoveryResult, recover
+from .snapshot import SnapshotImage, SnapshotStore, decode_tree, encode_tree
+from .wal import TornTail, UpdateJournal, WALRecord, committed_seqs, scan_wal
+
+__all__ = [
+    "FileBackend",
+    "SQLiteBackend",
+    "open_backend",
+    "StoreError",
+    "WALCorruption",
+    "SnapshotCorruption",
+    "DurableStore",
+    "RecoveryResult",
+    "recover",
+    "SnapshotImage",
+    "SnapshotStore",
+    "encode_tree",
+    "decode_tree",
+    "WALRecord",
+    "TornTail",
+    "UpdateJournal",
+    "scan_wal",
+    "committed_seqs",
+]

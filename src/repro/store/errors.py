@@ -1,0 +1,35 @@
+"""Typed errors of the durable storage tier.
+
+Leaf module (no intra-repo imports) so both the backends and the
+recovery path can raise them without import cycles.  The contract the
+crash-matrix suite enforces: recovery either replays a valid WAL prefix
+exactly, or raises one of these — it never loads a silently corrupt
+index.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StoreError", "WALCorruption", "SnapshotCorruption"]
+
+
+class StoreError(RuntimeError):
+    """Base class for durable-tier failures."""
+
+
+class WALCorruption(StoreError):
+    """The journal is corrupt *mid-file* (not a torn tail).
+
+    A checksum mismatch or broken framing with valid bytes following it
+    cannot be explained by a crash during the last append, so replaying
+    any prefix would risk silently losing acknowledged updates — the
+    loader refuses loudly instead.
+    """
+
+    def __init__(self, offset: int, reason: str) -> None:
+        super().__init__(f"WAL corrupt at byte {offset}: {reason}")
+        self.offset = int(offset)
+        self.reason = reason
+
+
+class SnapshotCorruption(StoreError):
+    """A snapshot blob or its manifest failed integrity verification."""

@@ -1,0 +1,93 @@
+"""The durable tier's front door: one object owning snapshot + journal.
+
+:class:`DurableStore` ties the pieces together the way the serve loop
+consumes them: ``attach`` hooks the write-ahead journal into a live tree
+(so ``insert``/``delete`` append before mutating) and takes the initial
+snapshot; ``checkpoint`` flushes a copy-on-write snapshot and truncates
+the journal it now covers; ``recover`` rebuilds tree + system from disk
+after a machine kill and re-attaches a journal that continues the
+sequence numbering.  Snapshot cadence is the caller's business — the
+serve loop gates ``checkpoint`` by a budget fraction exactly like
+rebalancing, using :attr:`dirty_records` to skip no-op flushes.
+"""
+
+from __future__ import annotations
+
+from .recovery import RecoveryResult, recover
+from .snapshot import SnapshotStore
+from .wal import UpdateJournal
+
+__all__ = ["DurableStore"]
+
+
+class DurableStore:
+    """Checkpoint + WAL lifecycle for one tree over one backend."""
+
+    def __init__(self, backend, *, budget_fraction: float = 0.05) -> None:
+        if not 0.0 <= budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be within [0, 1]")
+        self.backend = backend
+        self.budget_fraction = float(budget_fraction)
+        self.snapshots = SnapshotStore(backend)
+        self.journal: UpdateJournal | None = None
+        self.checkpoints = 0
+        self.events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def dirty_records(self) -> int:
+        """Journal records not yet covered by a snapshot."""
+        return 0 if self.journal is None else self.journal.pending_records
+
+    def attach(self, tree, *, checkpoint: bool = True) -> UpdateJournal:
+        """Wire the WAL into ``tree`` and (by default) snapshot it now.
+
+        After this, every ``insert_batch``/``delete_batch`` appends its
+        record before mutating and its COMMIT marker after, and failover/
+        migration append their control records — all charged under the
+        ``"wal"`` phase.
+        """
+        self.journal = UpdateJournal(self.backend, system=tree.system)
+        tree.journal = self.journal
+        if checkpoint:
+            self.checkpoint(tree)
+        return self.journal
+
+    def checkpoint(self, tree) -> dict:
+        """COW-flush a snapshot and truncate the journal it covers."""
+        wal_seq = 0 if self.journal is None else self.journal.next_seq - 1
+        report = self.snapshots.flush(tree, wal_seq=wal_seq)
+        # The snapshot covers every journaled record: drop them.  Sequence
+        # numbers keep counting up, so any record appended from here on is
+        # unambiguously after this snapshot.
+        self.backend.wal_reset(b"")
+        if self.journal is not None:
+            self.journal.pending_records = 0
+        self.checkpoints += 1
+        self.events.append({"kind": "checkpoint", **report})
+        return report
+
+    def recover(self, *, tracer=None, cost_model=None, validate=True
+                ) -> RecoveryResult:
+        """Rebuild from disk after a crash and re-attach the journal.
+
+        The journal continues from ``max_seq + 1``; the on-disk WAL still
+        holds the replayed records (they are not yet covered by any
+        snapshot), so ``dirty_records`` reflects them and the next
+        checkpoint truncates the lot.
+        """
+        res = recover(self.backend, tracer=tracer, cost_model=cost_model,
+                      validate=validate)
+        self.journal = UpdateJournal(
+            self.backend, system=res.system, start_seq=res.max_seq + 1
+        )
+        self.journal.pending_records = res.wal_records
+        res.tree.journal = self.journal
+        self.events.append({
+            "kind": "recover",
+            "snapshot_seq": res.snapshot_seq,
+            "replayed": res.replayed,
+            "skipped_uncommitted": res.skipped_uncommitted,
+            "torn_tail": res.torn_tail is not None,
+        })
+        return res

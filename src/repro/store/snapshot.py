@@ -1,0 +1,456 @@
+"""Copy-on-write snapshots of the host-resident canonical index.
+
+A snapshot is three kinds of artifact in the backend:
+
+* **chunk blobs** — the leaf payloads (keys + points), grouped by the
+  meta-node chunk that owns each leaf (plus one pseudo-chunk ``l0`` for
+  the meta-less L0 leaves).  Blobs are *content-addressed*: the blob key
+  is the blake2b hash of the bytes, so an unchanged chunk hashes to a
+  blob that already exists and is simply re-referenced — the tfhfs
+  forest/flush idiom of only writing dirty nodes, with the dirty check
+  made exact by hashing instead of relying on mutation-site bookkeeping.
+* **one topology blob** — every node and meta-node record (structure,
+  counters, layers, chunk assignments, children order).  Rewritten each
+  snapshot (it is small next to the payloads) and content-addressed like
+  the chunks.
+* **the manifest** — canonical JSON naming the blob set plus everything
+  needed to rebuild the machine: config fields, Morton codec parameters,
+  tree counters (``_next_nid``, ``_batch_counter``, route salt), system
+  parameters (P, seed, sim_mode, LLC bytes, per-module capacities), the
+  dead-module set, placement overrides, and the WAL sequence number the
+  snapshot covers.  The manifest carries a CRC32 of its own canonical
+  encoding; every blob it references is verified against its hash at
+  load time, and recovery re-checks the structural invariants —
+  corruption is always loud, never silent.
+
+The encoding is a pure function of the logical tree state (metas sorted
+by root nid, preorder node walk, sorted manifest keys), which is what
+makes ``encode(decode(encode(t))) == encode(t)`` — the round-trip
+identity the property suite locks down — and lets the crash-restart
+benchmark assert recovered-vs-oracle equality as byte equality of the
+two encodings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from .errors import SnapshotCorruption
+
+__all__ = ["SnapshotImage", "encode_tree", "decode_tree", "SnapshotStore"]
+
+MANIFEST_VERSION = 1
+
+# nid, prefix, depth, flags, layer, count, sc, delta, meta_idx
+_NODE = struct.Struct("<QQHBBqqqi")
+# root_nid, module, parent_idx, stale, built_sc, n_nodes, payload_words,
+# l1_desc_metas, hot_hits, n_children
+_META = struct.Struct("<QiiBqIdiQH")
+_META_KID = struct.Struct("<i")
+_LEAF_HEAD = struct.Struct("<QI")     # leaf nid, n points
+_TOPO_HEAD = struct.Struct("<IIQ")    # n_nodes, n_metas, dims
+
+_FLAG_LEAF = 1
+_BUILT_SC_NONE = -(1 << 62)
+
+
+class SnapshotImage:
+    """In-memory form of one snapshot: manifest dict + named byte blobs."""
+
+    def __init__(self, manifest: dict, topology: bytes,
+                 chunks: dict[str, bytes]) -> None:
+        self.manifest = manifest
+        self.topology = topology
+        self.chunks = chunks  # chunk id ("l0" or "m<root_nid>") -> bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.topology) + sum(len(b) for b in self.chunks.values())
+
+
+def _blob_hash(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _manifest_checksum(doc: dict) -> int:
+    body = {k: v for k, v in doc.items() if k != "checksum"}
+    data = json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    return zlib.crc32(data)
+
+
+# ======================================================================
+# encode
+# ======================================================================
+def encode_tree(tree, *, wal_seq: int = 0) -> SnapshotImage:
+    """Serialize ``tree`` (and its system's durable state) canonically."""
+    metas = sorted(tree.metas, key=lambda m: m.root.nid)
+    meta_idx = {id(m): i for i, m in enumerate(metas)}
+
+    node_records: list[bytes] = []
+    chunk_bufs: dict[str, bytearray] = {}
+
+    # Iterative preorder walk (push right then left so left pops first).
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        flags = _FLAG_LEAF if node.is_leaf else 0
+        midx = meta_idx[id(node.meta)] if node.meta is not None else -1
+        node_records.append(
+            _NODE.pack(node.nid, node.prefix, node.depth, flags,
+                       int(node.layer), node.count, node.sc, node.delta,
+                       midx)
+        )
+        if node.is_leaf:
+            cid = "l0" if node.meta is None else f"m{node.meta.root.nid}"
+            buf = chunk_bufs.setdefault(cid, bytearray())
+            keys = np.ascontiguousarray(node.keys, dtype="<u8")
+            pts = np.ascontiguousarray(node.pts, dtype="<f8")
+            buf += _LEAF_HEAD.pack(node.nid, len(keys))
+            buf += keys.tobytes()
+            buf += pts.tobytes()
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+
+    # Meta table: fixed head + explicit children index list (order matters:
+    # `children` is append-ordered and observable through later rebuilds).
+    meta_records: list[bytes] = []
+    for m in metas:
+        parent_idx = (meta_idx[id(m.parent)]
+                      if m.parent is not None and id(m.parent) in meta_idx
+                      else -1)
+        built = tree._meta_built_sc.get(m, _BUILT_SC_NONE)
+        stale = 1 if m in tree._stale_metas else 0
+        head = _META.pack(
+            m.root.nid, int(m.module), parent_idx, stale, int(built),
+            int(m.n_nodes), float(m.payload_words), int(m.l1_desc_metas),
+            int(m.hot_hits), len(m.children),
+        )
+        kids = b"".join(
+            _META_KID.pack(meta_idx[id(c)]) for c in m.children
+        )
+        meta_records.append(head + kids)
+
+    topology = (
+        _TOPO_HEAD.pack(len(node_records), len(metas), tree.dims)
+        + b"".join(node_records)
+        + b"".join(meta_records)
+    )
+
+    sys = tree.system
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "wal_seq": int(wal_seq),
+        "tree": {
+            "dims": int(tree.dims),
+            "key_bits": int(tree.key_bits),
+            "next_nid": int(tree._next_nid),
+            "batch_counter": int(tree._batch_counter),
+            "l0_route_salt": int(tree._l0_route_salt),
+            "l0_on_cpu": bool(tree.l0_on_cpu),
+            "size": int(tree.root.count),
+        },
+        "config": {
+            "name": tree.config.name,
+            "theta_l0": tree.config.theta_l0,
+            "theta_l1": tree.config.theta_l1,
+            "chunk_factor": tree.config.chunk_factor,
+            "leaf_size": tree.config.leaf_size,
+            "pull_imbalance_factor": tree.config.pull_imbalance_factor,
+            "lazy_counters": tree.config.lazy_counters,
+            "fast_zorder": tree.config.fast_zorder,
+            "fast_l2": tree.config.fast_l2,
+            "direct_api": tree.config.direct_api,
+            "push_pull": tree.config.push_pull,
+            "exec_mode": tree.config.exec_mode,
+            "sim_mode": tree.config.sim_mode,
+        },
+        "codec": {
+            "lo": [float(x) for x in np.asarray(tree.codec.lo).ravel()],
+            "hi": [float(x) for x in np.asarray(tree.codec.hi).ravel()],
+            "bits": int(tree.codec.bits),
+            "fast": bool(tree.codec.fast),
+        },
+        "system": {
+            "n_modules": int(sys.n_modules),
+            "seed": int(sys.seed),
+            "sim_mode": sys.sim_mode,
+            "llc_bytes": int(sys.llc.capacity_blocks * 64),
+            "dead_modules": sorted(int(m) for m in sys.dead_modules),
+            "placement_overrides": {
+                k.hex(): int(v) for k, v in sys._place_overrides.items()
+            },
+            "module_capacity_words": [
+                None if m.capacity_words is None else float(m.capacity_words)
+                for m in sys.modules
+            ],
+        },
+        "topology": {"hash": _blob_hash(topology), "bytes": len(topology)},
+        "chunks": {
+            cid: {"hash": _blob_hash(bytes(buf)), "bytes": len(buf)}
+            for cid, buf in sorted(chunk_bufs.items())
+        },
+    }
+    manifest["checksum"] = _manifest_checksum(manifest)
+    return SnapshotImage(
+        manifest, topology, {c: bytes(b) for c, b in chunk_bufs.items()}
+    )
+
+
+# ======================================================================
+# decode
+# ======================================================================
+def decode_tree(image: SnapshotImage, system, *, cost_model=None):
+    """Rebuild a :class:`PIMZdTree` from a snapshot image onto ``system``.
+
+    Pure host-side reconstruction: no simulator counter moves here (the
+    caller charges the load and runs the bulk re-upload).  Raises
+    :class:`SnapshotCorruption` if any blob fails its hash or the decoded
+    structure is internally inconsistent.
+    """
+    from ..core.chunking import MetaNode
+    from ..core.config import PIMZdTreeConfig
+    from ..core.morton import MortonCodec
+    from ..core.node import Layer, Node
+    from ..core.tree import PIMZdTree
+
+    man = image.manifest
+    if man.get("version") != MANIFEST_VERSION:
+        raise SnapshotCorruption(
+            f"unsupported snapshot version {man.get('version')!r}"
+        )
+    if _manifest_checksum(man) != man.get("checksum"):
+        raise SnapshotCorruption("manifest checksum mismatch")
+    if _blob_hash(image.topology) != man["topology"]["hash"]:
+        raise SnapshotCorruption("topology blob hash mismatch")
+    for cid, ref in man["chunks"].items():
+        blob = image.chunks.get(cid)
+        if blob is None:
+            raise SnapshotCorruption(f"missing chunk blob {cid!r}")
+        if _blob_hash(blob) != ref["hash"]:
+            raise SnapshotCorruption(f"chunk blob {cid!r} hash mismatch")
+
+    # -- leaf payloads ---------------------------------------------------
+    dims = int(man["tree"]["dims"])
+    payloads: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for blob in image.chunks.values():
+        off = 0
+        while off < len(blob):
+            nid, n = _LEAF_HEAD.unpack_from(blob, off)
+            off += _LEAF_HEAD.size
+            keys = np.frombuffer(blob, dtype="<u8", count=n, offset=off).copy()
+            off += 8 * n
+            pts = np.frombuffer(
+                blob, dtype="<f8", count=n * dims, offset=off
+            ).reshape(n, dims).copy()
+            off += 8 * n * dims
+            payloads[int(nid)] = (keys, pts)
+
+    # -- topology ---------------------------------------------------------
+    n_nodes, n_metas, topo_dims = _TOPO_HEAD.unpack_from(image.topology, 0)
+    if topo_dims != dims:
+        raise SnapshotCorruption("topology/manifest dims mismatch")
+    off = _TOPO_HEAD.size
+    node_rows = []
+    for _ in range(n_nodes):
+        node_rows.append(_NODE.unpack_from(image.topology, off))
+        off += _NODE.size
+    meta_rows = []
+    for _ in range(n_metas):
+        head = _META.unpack_from(image.topology, off)
+        off += _META.size
+        n_kids = head[-1]
+        kids = [
+            _META_KID.unpack_from(image.topology, off + _META_KID.size * j)[0]
+            for j in range(n_kids)
+        ]
+        off += _META_KID.size * n_kids
+        meta_rows.append((head, kids))
+    if off != len(image.topology):
+        raise SnapshotCorruption("trailing bytes after topology records")
+
+    # Rebuild the node tree from the preorder walk (each internal node is
+    # followed by its left then right subtrees).  Recursion depth is
+    # bounded by key_bits (<= 64) plus the leaf level.
+    pos = 0
+    decoded: list[tuple[Node, int]] = []  # (node, meta_idx) in preorder
+
+    def build() -> Node:
+        nonlocal pos
+        nid, prefix, depth, flags, layer, count, sc, delta, midx = \
+            node_rows[pos]
+        pos += 1
+        node = Node(int(nid), int(prefix), int(depth))
+        node.count = int(count)
+        node.sc = int(sc)
+        node.delta = int(delta)
+        node.layer = Layer(int(layer))
+        decoded.append((node, int(midx)))
+        if flags & _FLAG_LEAF:
+            try:
+                keys, pts = payloads[int(nid)]
+            except KeyError:
+                raise SnapshotCorruption(
+                    f"leaf {nid} has no payload in any chunk blob"
+                ) from None
+            node.keys = keys
+            node.pts = pts
+        else:
+            node.left = build()
+            node.right = build()
+            node.left.parent = node
+            node.right.parent = node
+        return node
+
+    root = build()
+    if pos != n_nodes:
+        raise SnapshotCorruption("topology walk did not consume all nodes")
+
+    # -- metas ------------------------------------------------------------
+    nid_to_node = {n.nid: n for n, _ in decoded}
+    metas: list[MetaNode] = []
+    for head, _kids in meta_rows:
+        m_root = nid_to_node.get(int(head[0]))
+        if m_root is None:
+            raise SnapshotCorruption(f"meta root nid {head[0]} not in tree")
+        metas.append(MetaNode(m_root, int(head[1])))
+    for m, (head, kids) in zip(metas, meta_rows):
+        (_nid, _module, parent_idx, _stale, _built, n_nodes_m,
+         payload_words, l1_desc, hot_hits, _nk) = head
+        m.layer = m.root.layer
+        m.parent = metas[parent_idx] if parent_idx >= 0 else None
+        m.children = [metas[k] for k in kids]
+        m.n_nodes = int(n_nodes_m)
+        m.payload_words = (
+            int(payload_words) if float(payload_words).is_integer()
+            else float(payload_words)
+        )
+        m.l1_desc_metas = int(l1_desc)
+        m.hot_hits = int(hot_hits)
+
+    # -- assemble the tree object (bypassing __init__'s build path) -------
+    cfg = PIMZdTreeConfig(**man["config"])
+    codec = MortonCodec(
+        np.asarray(man["codec"]["lo"], dtype=np.float64),
+        np.asarray(man["codec"]["hi"], dtype=np.float64),
+        dims,
+        int(man["codec"]["bits"]),
+        fast=bool(man["codec"]["fast"]),
+    )
+    tree = PIMZdTree.__new__(PIMZdTree)
+    tree.dims = dims
+    tree.system = system
+    tree.config = cfg
+    if cost_model is None:
+        from ..pim.cost_model import upmem_scaled
+
+        cost_model = upmem_scaled(system.n_modules)
+        tree.cost_model = cost_model.with_direct_api(cfg.direct_api)
+    else:
+        tree.cost_model = cost_model
+    tree.codec = codec
+    tree.key_bits = codec.key_bits
+    tree._next_nid = int(man["tree"]["next_nid"])
+    tree._batch_counter = int(man["tree"]["batch_counter"])
+    tree._l0_route_salt = int(man["tree"]["l0_route_salt"])
+    tree.root = root
+    tree.l0_on_cpu = bool(man["tree"]["l0_on_cpu"])
+    tree.metas = set(metas)
+    tree._stale_metas = {
+        m for m, (head, _k) in zip(metas, meta_rows) if head[3]
+    }
+    tree._meta_built_sc = {
+        m: int(head[4])
+        for m, (head, _k) in zip(metas, meta_rows)
+        if head[4] != _BUILT_SC_NONE
+    }
+    tree.last_executor = None
+    tree.journal = None
+    # Re-link nodes to their metas from the recorded assignment.
+    for node, midx in decoded:
+        node.meta = metas[midx] if midx >= 0 else None
+    return tree
+
+
+# ======================================================================
+# the COW flush
+# ======================================================================
+class SnapshotStore:
+    """Writes snapshots into a backend, copy-on-write at chunk granularity."""
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+
+    def flush(self, tree, *, wal_seq: int = 0) -> dict:
+        """Snapshot ``tree`` into the backend; returns a flush report.
+
+        Charged under the ``"checkpoint"`` phase: the host scans and
+        hashes every chunk (CPU + a DRAM stream of the full image) and
+        streams only the *dirty* chunks — those whose content hash is not
+        already stored — out to stable storage.  Clean chunks cost their
+        scan only, which is what makes frequent snapshots affordable.
+        """
+        sys = tree.system
+        with sys.phase("checkpoint"):
+            image = encode_tree(tree, wal_seq=wal_seq)
+            total_words = (image.total_bytes + 7) // 8
+
+            blobs = {image.manifest["topology"]["hash"]: image.topology}
+            for cid, ref in image.manifest["chunks"].items():
+                blobs[ref["hash"]] = image.chunks[cid]
+            written = 0
+            written_bytes = 0
+            for h, data in sorted(blobs.items()):
+                if not self.backend.has_blob(h):
+                    self.backend.put_blob(h, data)
+                    written += 1
+                    written_bytes += len(data)
+            manifest_bytes = json.dumps(
+                image.manifest, sort_keys=True, separators=(",", ":")
+            ).encode()
+            self.backend.put_manifest(manifest_bytes)
+            # Garbage-collect blobs no longer referenced by the manifest.
+            live = set(blobs)
+            for key in self.backend.list_blobs():
+                if key not in live:
+                    self.backend.delete_blob(key)
+
+            written_words = (written_bytes + len(manifest_bytes) + 7) // 8
+            sys.charge_cpu(2 * total_words)       # scan + hash
+            sys.dram_stream(total_words)          # read the image out
+            sys.dram_stream(written_words)        # write the dirty set
+        return {
+            "chunks_total": len(image.chunks),
+            "blobs_total": len(blobs),
+            "blobs_written": written,
+            "blobs_reused": len(blobs) - written,
+            "bytes_total": image.total_bytes,
+            "bytes_written": written_bytes,
+            "wal_seq": int(wal_seq),
+        }
+
+    def load_image(self) -> SnapshotImage:
+        """Read the latest snapshot back out of the backend (verified)."""
+        manifest_bytes = self.backend.get_manifest()
+        if manifest_bytes is None:
+            raise SnapshotCorruption("no snapshot manifest in backend")
+        try:
+            manifest = json.loads(manifest_bytes)
+        except ValueError as e:
+            raise SnapshotCorruption(f"manifest is not valid JSON: {e}") from e
+        if _manifest_checksum(manifest) != manifest.get("checksum"):
+            raise SnapshotCorruption("manifest checksum mismatch")
+        try:
+            topology = self.backend.get_blob(manifest["topology"]["hash"])
+            chunks = {
+                cid: self.backend.get_blob(ref["hash"])
+                for cid, ref in manifest["chunks"].items()
+            }
+        except (KeyError, FileNotFoundError) as e:
+            raise SnapshotCorruption(f"referenced blob missing: {e}") from e
+        return SnapshotImage(manifest, topology, chunks)

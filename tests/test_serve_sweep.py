@@ -18,7 +18,7 @@ import sys
 import numpy as np
 import pytest
 
-from repro.serve import SweepResult, run_shard, run_sweep
+from repro.serve import SweepResult, SweepShardError, run_shard, run_sweep
 from repro.serve.sweep import _shard_specs
 
 SMALL = dict(dataset="uniform", n=2000, n_modules=8, total_requests=240,
@@ -84,6 +84,50 @@ class TestDeterminism:
         a = run_sweep(procs=1, sim_mode="scalar", **SMALL)
         b = run_sweep(procs=1, sim_mode="vector", **SMALL)
         assert _strip_wall(a.to_dict()) == _strip_wall(b.to_dict())
+
+
+class TestShardFailure:
+    """A failed shard must surface as SweepShardError naming the shard.
+
+    Before the fix, a worker exception escaped ``pool.map`` as a bare
+    remote traceback with no way to tell *which* replica (and seed) died
+    — useless for re-running the one bad shard.
+    """
+
+    def _flaky(self, monkeypatch, bad_shard: int):
+        import repro.serve.sweep as sweep_mod
+
+        real = sweep_mod.run_shard
+
+        def run_shard_patched(spec):
+            if spec["shard"] == bad_shard:
+                raise ValueError("injected shard failure")
+            return real(spec)
+
+        monkeypatch.setattr(sweep_mod, "run_shard", run_shard_patched)
+
+    @pytest.mark.parametrize("procs", [1, 2])
+    def test_failure_names_shard_and_seed(self, monkeypatch, procs):
+        bad = procs - 1  # the last shard, so at least one succeeds first
+        self._flaky(monkeypatch, bad)
+        with pytest.raises(SweepShardError) as exc:
+            run_sweep(procs=procs, **SMALL)
+        e = exc.value
+        assert e.shard_index == bad
+        assert e.seed == SMALL["seed"] + 1000 * bad
+        assert "injected shard failure" in str(e)
+        assert f"shard {bad}" in str(e) and str(e.seed) in str(e)
+        # The worker-side traceback rides along for debugging.
+        assert "ValueError" in e.worker_traceback
+
+    def test_real_failure_path_no_monkeypatch(self):
+        """An actually-bad spec (unknown arrival kind) gets the same
+        treatment — the error is not an artifact of the injection."""
+        with pytest.raises(SweepShardError) as exc:
+            run_sweep(procs=1, arrival="bogus", **SMALL)
+        assert exc.value.shard_index == 0
+        assert exc.value.seed == SMALL["seed"]
+        assert "KeyError" in str(exc.value)
 
 
 class TestCLI:

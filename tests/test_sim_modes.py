@@ -250,6 +250,120 @@ class TestTransferGuards:
 
 
 # ======================================================================
+# ModuleView proxy surface (direct unit coverage)
+# ======================================================================
+class TestModuleViewSurface:
+    """The vector-mode ``ModuleView`` writes through to shared state.
+
+    Every ``PIMModule``-compatible attribute the proxy exposes — counter
+    setters, ``failed``, per-module capacity, the pressure callback —
+    must mutate the one underlying :class:`VectorState`, visible from a
+    *fresh* view handle and from the arrays themselves; and the derived
+    read-only properties and pressure-onset semantics must match the
+    scalar module exactly.
+    """
+
+    def _view(self, n=4, mid=1, **kw):
+        sys = PIMSystem(n, sim_mode="vector", **kw)
+        return sys, sys.modules[mid]
+
+    def test_counter_setters_write_through(self):
+        sys, m = self._view()
+        m.total_cycles = 12.0
+        m.round_cycles = 5.0
+        m.round_send_words = 3.0
+        m.round_recv_words = 4.0
+        m.master_words = 20.0
+        m.cache_words = 6.0
+        # A fresh handle over the same slot sees every write...
+        f = sys.modules[1]
+        assert f.total_cycles == 12.0 and f.round_cycles == 5.0
+        assert f.round_send_words == 3.0 and f.round_recv_words == 4.0
+        assert f.master_words == 20.0 and f.cache_words == 6.0
+        # ...derived read-only properties recompute from the arrays...
+        assert f.round_words == 7.0
+        assert f.used_words == 26.0
+        # ...and the neighbouring slots are untouched.
+        for other in (0, 2, 3):
+            o = sys.modules[other]
+            assert o.total_cycles == 0.0 and o.used_words == 0.0
+
+    def test_values_round_trip_as_python_floats(self):
+        _, m = self._view()
+        m.total_cycles = np.float64(8.0)
+        assert type(m.total_cycles) is float
+        assert type(m.round_words) is float
+        assert type(m.used_words) is float
+
+    def test_failed_setter_coerces_to_bool(self):
+        sys, m = self._view()
+        m.failed = 1
+        assert m.failed is True
+        assert sys.modules[1].failed is True
+        m.failed = 0
+        assert m.failed is False
+
+    def test_capacity_is_per_module(self):
+        sys, m = self._view(module_capacity_words=100)
+        assert m.capacity_words == 100
+        m.capacity_words = 40
+        assert sys.modules[1].capacity_words == 40
+        assert sys.modules[0].capacity_words == 100  # others keep theirs
+
+    def test_over_capacity_with_and_without_limit(self):
+        sys, m = self._view(module_capacity_words=None)
+        m.alloc_master(1e9)
+        assert not m.over_capacity()  # None = unlimited
+        m.capacity_words = 10
+        assert m.over_capacity()
+        m.capacity_words = None
+        assert not m.over_capacity()
+
+    @pytest.mark.parametrize("alloc", ["alloc_master", "alloc_cache"])
+    def test_pressure_fires_only_on_the_crossing_alloc(self, alloc):
+        sys, m = self._view(module_capacity_words=10)
+        fired = []
+        m.pressure_cb = lambda mod: fired.append(mod.mid)
+        getattr(m, alloc)(8.0)
+        assert fired == []          # under capacity: silent
+        getattr(m, alloc)(5.0)
+        assert fired == [1]         # the crossing allocation fires once
+        getattr(m, alloc)(3.0)
+        assert fired == [1]         # further allocs while over: no drone
+        # Dropping back under and crossing again fires a fresh onset.
+        getattr(m, alloc.replace("alloc", "free"))(8.0)
+        getattr(m, alloc)(4.0)
+        assert fired == [1, 1]
+
+    def test_pressure_parity_with_scalar(self):
+        """The same alloc/free script fires the same onsets in both modes."""
+        script = [("alloc_master", 6), ("alloc_cache", 3), ("alloc_cache", 4),
+                  ("free_master", 6), ("alloc_master", 2), ("alloc_master", 9)]
+        onsets = {}
+        for mode in ("scalar", "vector"):
+            sys = PIMSystem(2, sim_mode=mode, module_capacity_words=12)
+            m = sys.modules[0]
+            fired: list = []
+            m.pressure_cb = lambda mod: fired.append(
+                (mod.mid, mod.used_words))
+            for verb, words in script:
+                getattr(m, verb)(words)
+            onsets[mode] = fired
+        assert onsets["scalar"] == onsets["vector"]
+        assert len(onsets["scalar"]) == 2  # crossed, receded, crossed again
+
+    def test_charge_and_comm_hit_shared_arrays(self):
+        sys, m = self._view()
+        with sys.round():
+            m.charge(9.0, phase="build")
+            m.add_send(2.0, phase="build")
+            m.add_recv(3.0, phase="build")
+            assert sys.modules[1].round_cycles == 9.0
+            assert sys.modules[1].round_words == 5.0
+        assert sys.modules[1].total_cycles == 9.0
+
+
+# ======================================================================
 # scalar vs vector differential
 # ======================================================================
 VERBS = st.sampled_from(["pim", "send", "recv", "bulk_pim", "bulk_send",
