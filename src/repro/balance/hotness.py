@@ -55,6 +55,29 @@ class HotnessTracker:
         self.total_delta += float(delta.sum())
         return delta
 
+    def rebase(self, system=None) -> None:
+        """Re-anchor the delta baseline (crash-restart rebind).
+
+        ``module_loads()`` is *cumulative since system construction*; a
+        crash restart swaps in a freshly built :class:`PIMSystem` whose
+        counters restart near zero.  A tracker still holding the old
+        system's baseline would observe a huge *negative* delta on the
+        next :meth:`observe` and poison the EWMA (driving heat negative,
+        which both disables the detector and corrupts victim selection).
+        ``rebase`` swaps ``system`` (when given) and resets the baseline
+        to its current loads *without* folding a delta; accumulated EWMA
+        heat is kept — the workload skew survives the crash even though
+        the counters did not.
+        """
+        if system is not None:
+            if system.n_modules != len(self.hotness):
+                raise ValueError(
+                    f"rebase onto {system.n_modules} modules, "
+                    f"tracker has {len(self.hotness)}"
+                )
+            self.system = system
+        self._last = self.system.module_loads().astype(np.float64)
+
     def transfer(self, src: int, dst: int, heat: float) -> None:
         """Project a migration into the EWMA (planner's heat estimate).
 

@@ -44,15 +44,30 @@ def execute_plan(tree, plan: MigrationPlan) -> dict:
     counter moves — the inert-config guarantee.
     """
     if not plan.moves:
-        return {"moves": 0, "words_moved": 0.0, "mandatory_moves": 0}
+        return {"moves": 0, "words_moved": 0.0, "mandatory_moves": 0,
+                "clones": 0}
     sys = tree.system
     words_moved = 0.0
+    clones = 0
     with sys.phase("rebalance"), sys.faults_suppressed():
         sys.charge_cpu(len(plan.moves) * _MIGRATE_CPU_OPS)
         with sys.round():
             for mv in plan.moves:
                 meta = mv.meta
                 words = meta.size_words(tree.config)
+                if mv.kind == "clone":
+                    # Install a *secondary copy* on dst: same pack/drain/
+                    # unpack shape as a migration, but mastership (and the
+                    # master copy, and its L1 fan-out) stays on src — only
+                    # the chunk's read heat splits (repro.replicate).
+                    sys.charge_pim(mv.src, words * _PACK_CYCLES_PER_WORD)
+                    sys.recv(mv.src, words)
+                    sys.charge_pim(mv.dst, words * _PACK_CYCLES_PER_WORD)
+                    sys.send(mv.dst, words)
+                    tree.replicas.register(meta.root.nid, mv.dst)
+                    words_moved += words
+                    clones += 1
+                    continue
                 replicas = (meta.replica_count()
                             if meta.layer == Layer.L1 else 0)
                 total = words * (1 + replicas)
@@ -66,15 +81,22 @@ def execute_plan(tree, plan: MigrationPlan) -> dict:
                 sys.set_placement_override(("meta", meta.root.nid), mv.dst)
                 words_moved += total
         tree.refresh_residency()
-    # Journal the moves (self-committed control record) so recovery after
-    # a later crash re-pins each chunk to its migrated module.
+    # Journal the moves (self-committed control records) so recovery after
+    # a later crash re-pins each chunk to its migrated module and
+    # re-registers each cloned secondary.
     journal = getattr(tree, "journal", None)
     if journal is not None:
-        journal.log_migrate(
-            [(mv.meta.root.nid, mv.dst) for mv in plan.moves]
-        )
+        migrated = [(mv.meta.root.nid, mv.dst) for mv in plan.moves
+                    if mv.kind == "migrate"]
+        if migrated:
+            journal.log_migrate(migrated)
+        cloned = [(mv.meta.root.nid, mv.dst) for mv in plan.moves
+                  if mv.kind == "clone"]
+        if cloned:
+            journal.log_replicate(cloned)
     return {
         "moves": len(plan.moves),
         "words_moved": float(words_moved),
         "mandatory_moves": sum(1 for mv in plan.moves if mv.mandatory),
+        "clones": clones,
     }

@@ -41,6 +41,20 @@ class OnlineRebalancer:
         """Serve-loop time budget: rebalance ≤ this fraction of service."""
         return self.config.budget_fraction
 
+    def rebind(self, tree) -> None:
+        """Point the rebalancer at a recovered tree (crash restart).
+
+        The serve loop calls this after ``crash_restart`` replaces the
+        adapter's tree and system: planner and tracker swap to the new
+        objects and the tracker re-anchors its cumulative-load baseline
+        (:meth:`HotnessTracker.rebase`) so the fresh system's near-zero
+        counters do not appear as a giant negative delta.  History,
+        step/migration counts and the EWMA heat are preserved.
+        """
+        self.tree = tree
+        self.planner.tree = tree
+        self.tracker.rebase(tree.system)
+
     # ------------------------------------------------------------------
     def step(self) -> dict | None:
         """One observe/detect/plan/execute cycle.

@@ -79,7 +79,14 @@ def inert_balance() -> BalanceConfig:
 
 @dataclass
 class MigrationMove:
-    """One chunk relocation: ``meta`` moves ``src`` → ``dst``."""
+    """One chunk relocation (or clone): ``meta`` moves/copies ``src`` → ``dst``.
+
+    ``kind`` is ``"migrate"`` (mastership moves, the only kind before
+    replication existed) or ``"clone"`` (a *secondary copy* is installed
+    on ``dst``; mastership and the master copy stay on ``src`` — only
+    read heat moves, the K-way replication answer to a single mega-hot
+    chunk that migration cannot split).
+    """
 
     meta: object  # the MetaNode being relocated
     src: int
@@ -87,6 +94,7 @@ class MigrationMove:
     words: float  # master-copy footprint (replica fan-out billed at exec)
     heat: float  # planner's heat estimate, folded back into the tracker
     mandatory: bool = False  # capacity drain (vs heat-driven)
+    kind: str = "migrate"  # "migrate" | "clone"
 
     def to_dict(self) -> dict:
         return {
@@ -96,6 +104,7 @@ class MigrationMove:
             "words": float(self.words),
             "heat": float(self.heat),
             "mandatory": bool(self.mandatory),
+            "kind": self.kind,
         }
 
 
@@ -163,11 +172,18 @@ class MigrationPlanner:
             cap = sys.modules[mid].capacity_words
             return float(cap) if cap is not None else None
 
-        def pick_dst(src: int, words: float) -> int | None:
-            """Coldest live module with room, by (projected heat, mid)."""
+        def pick_dst(src: int, words: float,
+                     exclude: set[int] | None = None) -> int | None:
+            """Coldest live module with room, by (projected heat, mid).
+
+            ``exclude`` rules out modules already holding a copy of the
+            chunk (clone destinations must add a *new* copy).
+            """
             best = None
             for mid in live:
                 if mid == src:
+                    continue
+                if exclude is not None and mid in exclude:
                     continue
                 cap = capacity_of(mid)
                 if cap is not None and resid[mid] + words > cap:
@@ -186,16 +202,20 @@ class MigrationPlanner:
                 share = 1.0 / max(1, len(chunks))
             return float(heat[src]) * share
 
-        def record(meta, src: int, dst: int, *, mandatory: bool) -> None:
+        def record(meta, src: int, dst: int, *, mandatory: bool,
+                   kind: str = "migrate", heat_moved: float | None = None
+                   ) -> None:
             words = float(meta.size_words(self.tree.config))
-            h = heat_estimate(src, meta)
+            h = heat_estimate(src, meta) if heat_moved is None else heat_moved
             plan.moves.append(
-                MigrationMove(meta, src, dst, words, h, mandatory=mandatory)
+                MigrationMove(meta, src, dst, words, h,
+                              mandatory=mandatory, kind=kind)
             )
             moved.add(meta.root.nid)
             heat[src] -= h
             heat[dst] += h
-            resid[src] -= words
+            if kind == "migrate":
+                resid[src] -= words  # a clone's master copy stays put
             resid[dst] += words
 
         # -- mandatory capacity drains (largest chunks first) -------------
@@ -227,6 +247,37 @@ class MigrationPlanner:
         # prevent.  A move is emitted only when it strictly reduces the
         # src/dst pair's max — once no such move exists the plan is done,
         # so a balanced system plans (and charges) nothing.
+        #
+        # With a ReplicaSet attached, the pinned hottest chunk gains a
+        # remedy migration never had: *clone* it.  A migration of the
+        # dominant chunk would only relocate the straggler, but a clone
+        # splits its read heat across one more copy (read-any routing), so
+        # when the pinned chunk is still below its k copies and the split
+        # strictly lowers the pair max, the planner emits a clone move.
+        reps = getattr(self.tree, "replicas", None)
+
+        def try_clone(src: int) -> bool:
+            if reps is None or not by_module[src]:
+                return False
+            meta = by_module[src][0]  # the pinned hottest chunk
+            if meta.root.nid in moved or meta.module != src:
+                return False
+            if not reps.can_clone(meta):
+                return False
+            words = float(meta.size_words(self.tree.config))
+            holders = {meta.module} | set(reps.secondaries(meta))
+            dst = pick_dst(src, words, exclude=holders)
+            if dst is None:
+                return False
+            # Read-any splits the chunk's heat over copies+1 modules: the
+            # source sheds the new copy's share.
+            h_moved = heat_estimate(src, meta) / (reps.copy_count(meta) + 1)
+            if h_moved <= 0.0 or heat[dst] + h_moved >= heat[src]:
+                return False
+            record(meta, src, dst, mandatory=False,
+                   kind="clone", heat_moved=h_moved)
+            return True
+
         while (len(plan.moves) < cfg.max_moves
                and (not plan.moves or plan.total_words < cfg.budget_words)):
             live_heat = np.array([heat[mid] for mid in live])
@@ -236,6 +287,8 @@ class MigrationPlanner:
             if float(live_heat.max()) <= cfg.ratio_threshold * mean:
                 break
             src = min(live, key=lambda m: (-heat[m], m))
+            if try_clone(src):
+                continue
             movable = [
                 m for m in by_module[src][cfg.min_keep:]
                 if m.root.nid not in moved

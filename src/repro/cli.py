@@ -266,6 +266,21 @@ def _add_serve_args(p: argparse.ArgumentParser,
                    help="simulator round-accounting core: the array-backed "
                         "vector core (default) or the per-module scalar "
                         "oracle")
+    p.add_argument("--tenants", default=None,
+                   help="multi-tenant admission: name=weight pairs, e.g. "
+                        "gold=4,bronze=1 — requests are tagged in those "
+                        "traffic proportions and the queue dequeues "
+                        "weighted-fair with fair-share shedding")
+    p.add_argument("--replicate", type=int, default=None, metavar="K",
+                   help="K-way chunk replication (total copies incl. the "
+                        "primary); installs replicas before serving and "
+                        "routes reads to the least-loaded copy")
+    p.add_argument("--write-policy", default="write-all",
+                   choices=["write-all", "primary-async"],
+                   help="replica write policy (with --replicate)")
+    p.add_argument("--staleness-ms", type=float, default=1.0,
+                   help="staleness bound for --write-policy primary-async "
+                        "(simulated ms)")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -372,6 +387,53 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _parse_tenants(spec: str | None):
+    """Parse ``--tenants name=weight,...`` into a dict (None when unset).
+
+    Returns the sentinel ``2`` (the CLI usage-error exit code) on a
+    malformed spec.
+    """
+    if spec is None:
+        return None
+    tenants = {}
+    try:
+        for part in spec.split(","):
+            name, sep, w = part.strip().partition("=")
+            if not sep or not name:
+                raise ValueError
+            tenants[name] = float(w)
+            if tenants[name] <= 0:
+                raise ValueError
+    except ValueError:
+        print(f"error: malformed --tenants {spec!r} "
+              "(want name=weight,... with positive weights)")
+        return 2
+    return tenants
+
+
+def _make_replication(args: argparse.Namespace, adapter):
+    """Attach a charged K-way ReplicaSet for ``--replicate K``.
+
+    Returns ``None`` (flag unset), a summary dict, or the sentinel ``2``
+    on a usage error.
+    """
+    k = getattr(args, "replicate", None)
+    if k is None:
+        return None
+    if not hasattr(adapter, "tree"):
+        print(f"error: --replicate requires a pim index adapter "
+              f"(got {args.index!r})")
+        return 2
+    if k < 1:
+        print("error: --replicate must be >= 1")
+        return 2
+    from .replicate import ReplicaSet, ReplicationConfig
+
+    cfg = ReplicationConfig(k=int(k), write_policy=args.write_policy,
+                            staleness_bound_s=args.staleness_ms * 1e-3)
+    return ReplicaSet(adapter.tree, cfg).replicate_all()
+
+
 def _make_rebalancer(args: argparse.Namespace, adapter):
     """Build the online rebalancer for ``--rebalance`` (or return None).
 
@@ -456,6 +518,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"calibrated capacity ≈ {capacity:.0f} req/s; offering "
               f"{args.load:.2f}x = {rate:.0f} req/s")
 
+    tenants = _parse_tenants(args.tenants)
+    if tenants == 2:
+        return 2
     arrival_fn = {"poisson": poisson_arrivals, "bursty": bursty_arrivals,
                   "diurnal": diurnal_arrivals}[args.arrival]
     arrivals = arrival_fn(rate, args.requests, seed=seed + 1)
@@ -463,20 +528,28 @@ def _run_serve(args: argparse.Namespace) -> int:
                   else math.inf)
     try:
         requests = make_requests(data, arrivals, mix=mix, k=args.k,
-                                 deadline_s=deadline_s, seed=seed + 2)
+                                 deadline_s=deadline_s, seed=seed + 2,
+                                 tenants=tenants)
     except ValueError as e:
         print(f"error: {e}")
         return 2
 
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
                            sim_mode=args.sim_mode)
+    replication = _make_replication(args, adapter)
+    if replication == 2:
+        return 2
+    if replication is not None:
+        print(f"replication: installed {replication['installed']} secondary "
+              f"copies ({replication['words']:,.0f} words)")
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2
     policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
               else AdaptiveBatchPolicy())
     loop = ServeLoop(adapter,
-                     AdmissionQueue(args.queue_depth, overflow=args.overflow),
+                     AdmissionQueue(args.queue_depth, overflow=args.overflow,
+                                    tenants=tenants),
                      policy, rebalancer=rebalancer)
     result = loop.run(requests)
 
@@ -520,6 +593,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print("error: --rebalance is not supported by sweep "
               "(shards are independent replicas)")
         return 2
+    if args.replicate is not None:
+        print("error: --replicate is not supported by sweep "
+              "(shards are independent replicas)")
+        return 2
+    tenants = _parse_tenants(args.tenants)
+    if tenants == 2:
+        return 2
 
     rate = args.rate
     if rate is None:
@@ -541,7 +621,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                     else math.inf),
         queue_depth=args.queue_depth, overflow=args.overflow,
         policy=args.policy, fixed_batch=args.fixed_batch,
-        sim_mode=args.sim_mode, arrival=args.arrival,
+        sim_mode=args.sim_mode, arrival=args.arrival, tenants=tenants,
     )
 
     print(f"=== sweep — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
@@ -636,6 +716,9 @@ def _run_faults(args: argparse.Namespace) -> int:
         print(f"calibrated fault-free capacity ≈ {capacity:.0f} req/s; "
               f"offering {args.load:.2f}x = {rate:.0f} req/s")
 
+    tenants = _parse_tenants(args.tenants)
+    if tenants == 2:
+        return 2
     arrival_fn = {"poisson": poisson_arrivals, "bursty": bursty_arrivals,
                   "diurnal": diurnal_arrivals}[args.arrival]
     arrivals = arrival_fn(rate, args.requests, seed=seed + 1)
@@ -643,7 +726,8 @@ def _run_faults(args: argparse.Namespace) -> int:
                   else math.inf)
     try:
         requests = make_requests(data, arrivals, mix=mix, k=args.k,
-                                 deadline_s=deadline_s, seed=seed + 2)
+                                 deadline_s=deadline_s, seed=seed + 2,
+                                 tenants=tenants)
     except ValueError as e:
         print(f"error: {e}")
         return 2
@@ -652,13 +736,20 @@ def _run_faults(args: argparse.Namespace) -> int:
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
                            fault_plan=plan, tracer=tracer,
                            sim_mode=args.sim_mode)
+    replication = _make_replication(args, adapter)
+    if replication == 2:
+        return 2
+    if replication is not None:
+        print(f"replication: installed {replication['installed']} secondary "
+              f"copies ({replication['words']:,.0f} words)")
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2
     policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
               else AdaptiveBatchPolicy())
     loop = ServeLoop(
-        adapter, AdmissionQueue(args.queue_depth, overflow=args.overflow),
+        adapter, AdmissionQueue(args.queue_depth, overflow=args.overflow,
+                                tenants=tenants),
         policy, max_retries=args.retries, backoff_s=args.backoff_ms * 1e-3,
         timeout_s=(args.timeout_ms * 1e-3 if args.timeout_ms is not None
                    else None),

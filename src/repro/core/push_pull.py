@@ -73,12 +73,15 @@ class ExecContext:
     __slots__ = ("_tree", "_sys", "meta", "on_cpu", "_module", "_emitted", "_results",
                  "qid")
 
-    def __init__(self, tree, meta: MetaNode, on_cpu: bool, qid: int) -> None:
+    def __init__(self, tree, meta: MetaNode, on_cpu: bool, qid: int,
+                 module: int | None = None) -> None:
         self._tree = tree
         self._sys = tree.system
         self.meta = meta
         self.on_cpu = on_cpu
-        self._module = meta.module
+        # Execution site: the mastering module unless read routing picked
+        # a replica (repro.replicate) — then all charges land there.
+        self._module = meta.module if module is None else module
         self._emitted: list[Task] = []
         self._results: list = []
         self.qid = qid
@@ -218,11 +221,17 @@ class PushPullExecutor:
             next_frontier: list[Task] = []
             pulled_items: list[tuple[MetaNode, list[Task]]] = []
 
+            reps = self.tree.replicas
             with self.sys.round():
                 for meta, ts in by_meta.items():
+                    # Read routing: with a ReplicaSet attached, this round's
+                    # work for the chunk may land on a replica module; one
+                    # routing decision per (chunk, round).
+                    mod = (meta.module if reps is None
+                           else reps.read_module(meta, len(ts)))
                     if meta in pulled:
                         # Fetch only the master storage (§3.3).
-                        self.sys.recv(meta.module, meta.size_words(self.config))
+                        self.sys.recv(mod, meta.size_words(self.config))
                         # Queries stay on the CPU; execution happens below.
                         pulled_items.append((meta, ts))
                         self.pulled_tasks += len(ts)
@@ -231,16 +240,16 @@ class PushPullExecutor:
                     # Popularity signal for repro.balance victim selection:
                     # count the tasks this meta drew onto its module.
                     meta.hot_hits += len(ts)
-                    self.sys.charge_pim(meta.module, PIM_TASK_DISPATCH_CYCLES)
+                    self.sys.charge_pim(mod, PIM_TASK_DISPATCH_CYCLES)
                     if group_kernel is not None:
                         self.sys.send(
-                            meta.module, sum(t.send_words for t in ts)
+                            mod, sum(t.send_words for t in ts)
                         )
                         g = GroupContext()
                         group_kernel(meta, ts, g)
-                        self.sys.charge_pim(meta.module, g.cycles)
+                        self.sys.charge_pim(mod, g.cycles)
                         self.sys.recv(
-                            meta.module, g.recv + RESULT_WORDS * len(ts)
+                            mod, g.recv + RESULT_WORDS * len(ts)
                         )
                         g._results.sort(key=lambda r: r[0])
                         for pos, value in g._results:
@@ -249,8 +258,9 @@ class PushPullExecutor:
                         next_frontier.extend(e[3] for e in g._emits)
                         continue
                     for t in ts:
-                        self.sys.send(meta.module, t.send_words)
-                        ctx = ExecContext(self.tree, meta, False, t.qid)
+                        self.sys.send(mod, t.send_words)
+                        ctx = ExecContext(self.tree, meta, False, t.qid,
+                                          module=mod)
                         handler(t, ctx)
                         ctx.return_words(RESULT_WORDS)
                         results[t.qid].extend(ctx._results)

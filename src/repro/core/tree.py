@@ -86,6 +86,9 @@ class PIMZdTree:
         # Write-ahead journal (repro.store): attached by DurableStore so
         # insert/delete append before mutating; None means no durability.
         self.journal = None
+        # K-way replica registry (repro.replicate): attached by ReplicaSet;
+        # None means single-copy mastership — all replica hooks inert.
+        self.replicas = None
 
         with self.system.phase("build"):
             keys = self.encode_keys(points)
@@ -511,6 +514,8 @@ class PIMZdTree:
             for desc in iter_meta_subtree(meta):
                 if desc is not meta and desc.layer == Layer.L1:
                     self.system.modules[desc.module].alloc_cache(words)
+        if self.replicas is not None:
+            self.replicas.alloc_residency()
         if not self.l0_on_cpu:
             w = self.l0_words()
             for m in self.system.modules:

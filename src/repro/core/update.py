@@ -121,6 +121,13 @@ def insert_batch(tree, points: np.ndarray) -> None:
                         sys.send(
                             target.meta.module, len(keys) * (tree.dims + 1)
                         )
+                        # Replica write fan-out shares this batch's round
+                        # (write-all) or is deferred under the staleness
+                        # bound (primary-async); inert without a ReplicaSet.
+                        if tree.replicas is not None:
+                            tree.replicas.on_write(
+                                target.meta, len(keys) * (tree.dims + 1)
+                            )
                     staged.append((target, keys, pts))
                 for target, keys, pts in staged:
                     _merge_target(tree, target, keys, pts, state)
@@ -596,6 +603,10 @@ def delete_batch(tree, points: np.ndarray) -> int:
                 if leaf.layer != Layer.L0 and leaf.meta is not None:
                     sys.send(leaf.meta.module, len(qids) * (tree.dims + 1))
                     sys.charge_pim(leaf.meta.module, leaf.count * len(qids) * 2)
+                    if tree.replicas is not None:
+                        tree.replicas.on_write(
+                            leaf.meta, len(qids) * (tree.dims + 1)
+                        )
                 else:
                     sys.charge_cpu(leaf.count * len(qids))
                 if n_removed == 0:

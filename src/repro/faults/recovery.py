@@ -39,17 +39,36 @@ def fail_over(tree, dead_mid: int) -> dict:
     from ..core.node import Layer
 
     sys = tree.system
+    reps = getattr(tree, "replicas", None)
     with sys.phase("recovery"), sys.faults_suppressed():
         sys.decommission(dead_mid)
+        # Replica-aware fast path (repro.replicate): chunks mastered on
+        # the dead module whose ReplicaSet holds a live secondary are
+        # *promoted* — a control-plane pointer swap plus a placement
+        # override, no shard re-upload; the copy is already resident.
+        promotions = reps.on_module_dead(dead_mid) if reps is not None else {}
         moved = sorted(
             (m for m in tree.metas if m.module == dead_mid),
             key=lambda m: m.root.nid,
         )
         words_moved = 0.0
+        promoted = 0
+        rebuilt = []
         if moved:
             sys.charge_cpu(len(moved) * _REPLACE_CPU_OPS)
             with sys.round():
                 for meta in moved:
+                    new_mid = promotions.get(meta.root.nid)
+                    if new_mid is not None:
+                        meta.module = new_mid
+                        sys.set_placement_override(
+                            ("meta", meta.root.nid), new_mid
+                        )
+                        # Only the mastership hand-off control message.
+                        sys.send(new_mid, 2)
+                        promoted += 1
+                        continue
+                    rebuilt.append(meta)
                     words = meta.size_words(tree.config)
                     # Capacity-aware re-placement: identical to the plain
                     # salted-hash place() unless the hashed module's
@@ -73,4 +92,5 @@ def fail_over(tree, dead_mid: int) -> dict:
         "module": int(dead_mid),
         "metas_moved": len(moved),
         "words_moved": float(words_moved),
+        "promoted": promoted,
     }

@@ -1,0 +1,25 @@
+"""K-way chunk replication with routed reads and policy-bound writes.
+
+One logical owner per chunk (the §3.2 meta-node mastership rule) makes a
+single mega-hot chunk both a throughput wall and a single point of
+failure — the exact skew failure mode PIM-tree's replication-based skew
+resistance targets.  This package adds the missing degree of freedom:
+
+* :class:`ReplicationConfig` — replica count ``k`` (total copies
+  including the primary), the write policy (``"write-all"`` synchronous
+  fan-out or ``"primary-async"`` with a bounded staleness window), and
+  the staleness bound;
+* :class:`ReplicaSet` — the per-tree replica registry: deterministic
+  secondary placement composing with :meth:`repro.pim.PIMSystem.place`
+  overrides, charged replica installation, least-loaded read routing
+  (``read-any``), write fan-out accounting, async-flush staleness
+  tracking, replica-aware failover promotion, and crash-restart rebind.
+
+A tree with ``tree.replicas is None`` (the default) takes none of these
+code paths: every hook in the core is a single ``is None`` test, so
+replication-off runs stay byte-identical to pre-replication builds.
+"""
+
+from .replicaset import ReplicaSet, ReplicationConfig, WRITE_POLICIES
+
+__all__ = ["ReplicaSet", "ReplicationConfig", "WRITE_POLICIES"]

@@ -17,7 +17,12 @@ the missing layer on top of the existing harness adapters:
   per-request enqueue/dispatch/complete times;
 * :class:`LatencyStats` — p50/p90/p99/p999 latency, time-in-queue vs
   time-in-service, goodput under deadline; exported as JSON/CSV through
-  ``repro.obs`` and surfaced by ``python -m repro.cli serve``.
+  ``repro.obs`` and surfaced by ``python -m repro.cli serve``;
+* :class:`TenantPolicy` (``repro.serve.tenants``) — multi-tenant
+  admission: weighted-fair dequeue with SLO-class weights, fair-share
+  shedding, and per-tenant latency/goodput breakdowns in the stats;
+  composes with K-way chunk replication (``repro.replicate``) for the
+  tenant-isolation story.
 
 Under a :class:`repro.faults.FaultPlan` the loop is *resilient*: typed
 faults from the simulator are retried with exponential backoff, a dead
@@ -38,20 +43,24 @@ from .queue import AdmissionQueue, OVERFLOW_POLICIES
 from .request import KINDS, Request, make_requests
 from .stats import LatencyStats, latency_summary
 from .sweep import SweepResult, SweepShardError, run_shard, run_sweep
+from .tenants import DEFAULT_TENANT, SLO_CLASSES, TenantPolicy
 
 __all__ = [
     "AdaptiveBatchPolicy",
     "AdmissionQueue",
     "BatchRecord",
+    "DEFAULT_TENANT",
     "FixedBatchPolicy",
     "KINDS",
     "LatencyStats",
     "OVERFLOW_POLICIES",
     "Request",
+    "SLO_CLASSES",
     "ServeLoop",
     "ServeResult",
     "SweepResult",
     "SweepShardError",
+    "TenantPolicy",
     "calibrate_capacity",
     "latency_summary",
     "make_requests",
@@ -93,7 +102,8 @@ def serve(adapter, requests, *, queue_depth: int = 1024,
           overflow: str = "reject", policy=None,
           max_retries: int = 3, backoff_s: float = 1e-4,
           timeout_s: float | None = None, degraded_mode: bool = True,
-          failover: bool = True, rebalancer=None) -> ServeResult:
+          failover: bool = True, rebalancer=None,
+          tenants=None, replication=None) -> ServeResult:
     """One-call serve run: build the queue and loop, serve ``requests``.
 
     The fault-resilience knobs (``max_retries``, ``backoff_s``,
@@ -102,10 +112,23 @@ def serve(adapter, requests, *, queue_depth: int = 1024,
     ``timeout_s``, which expires over-age queued requests regardless.
     ``rebalancer`` (a :class:`repro.balance.OnlineRebalancer`) enables
     budget-capped background migration between batches.
+
+    ``tenants`` (a :class:`TenantPolicy` or a tenant→weight dict) turns
+    the admission queue into weighted-fair dequeue with fair-share
+    shedding.  ``replication`` (a
+    :class:`repro.replicate.ReplicationConfig`) attaches a ReplicaSet to
+    the adapter's tree and installs the initial K-way copies (charged)
+    before serving starts.
     """
     if policy is None:
         policy = AdaptiveBatchPolicy()
-    loop = ServeLoop(adapter, AdmissionQueue(queue_depth, overflow=overflow),
+    if replication is not None:
+        from ..replicate import ReplicaSet
+
+        ReplicaSet(adapter.tree, replication).replicate_all()
+    loop = ServeLoop(adapter,
+                     AdmissionQueue(queue_depth, overflow=overflow,
+                                    tenants=tenants),
                      policy, max_retries=max_retries, backoff_s=backoff_s,
                      timeout_s=timeout_s, degraded_mode=degraded_mode,
                      failover=failover, rebalancer=rebalancer)

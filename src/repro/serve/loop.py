@@ -196,6 +196,11 @@ class ServeLoop:
             group = self.queue.head_group()
             size = self.policy.batch_size(group, self.queue.backlog(group))
             batch = self.queue.take(group, size)
+            reps = self._replicas()
+            if reps is not None:
+                # Keep the replica registry's virtual clock current so
+                # primary-async writes age against the staleness bound.
+                reps.clock = now
             service_s, elements, status, retries = self._dispatch(batch, now)
             end = now + service_s
             for r in batch:
@@ -260,7 +265,35 @@ class ServeLoop:
                         self.queue.offer(pending[i], pending[i].arrival_s)
                         i += 1
                     now = end
-        return ServeResult(requests=pending, batches=batches)
+            # Primary-async replica flush between batches: once the oldest
+            # pending secondary update reaches the staleness bound, ship
+            # the backlog as one charged round on the virtual clock (same
+            # mechanics as the rebalance/checkpoint blocks — replication
+            # is not free either).
+            reps = self._replicas()
+            if reps is not None and reps.flush_due(now):
+                m = self.adapter.measure(lambda: (reps.flush(now), 0)[1])
+                if m.sim_time_s > 0.0:
+                    end = now + m.sim_time_s
+                    while i < n and pending[i].arrival_s <= end:
+                        self.queue.offer(pending[i], pending[i].arrival_s)
+                        i += 1
+                    now = end
+        # Drain any remaining async backlog so the staleness accounting
+        # covers every fanned write (no latency impact — all requests are
+        # already terminal).
+        reps = self._replicas()
+        if reps is not None and reps._pending:
+            self.adapter.measure(lambda: (reps.flush(now), 0)[1])
+        result = ServeResult(requests=pending, batches=batches)
+        if reps is not None:
+            result.stats.replication = reps.summary()
+        return result
+
+    def _replicas(self):
+        """The adapter tree's ReplicaSet, or None (re-read every time —
+        a crash restart swaps the tree out from under the loop)."""
+        return getattr(getattr(self.adapter, "tree", None), "replicas", None)
 
     # ------------------------------------------------------------------
     def _dispatch(self, batch: list[Request], now: float = 0.0
@@ -297,6 +330,12 @@ class ServeLoop:
                 killed_at = now + total_s
                 restart_s, info = self.adapter.crash_restart(self.store)
                 total_s += restart_s
+                if self.rebalancer is not None:
+                    # The restart built a fresh tree *and* a fresh system
+                    # whose cumulative load counters restart near zero; a
+                    # rebalancer still pointed at the old objects would
+                    # observe a huge negative delta and poison its EWMA.
+                    self.rebalancer.rebind(self.adapter.tree)
                 self.restarts.append({
                     "killed_at_s": killed_at,
                     "recovered_at_s": killed_at + restart_s,

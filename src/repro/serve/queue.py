@@ -1,4 +1,4 @@
-"""Bounded admission queue with explicit backpressure.
+"""Bounded admission queue with explicit backpressure and tenant fairness.
 
 The queue sits between the arrival process and the batch former.  Its
 depth bounds both memory and worst-case queueing delay; when full, one of
@@ -13,11 +13,36 @@ discards a request without marking it:
 
 Rejected and shed requests keep their stamps and terminal status and are
 reported in :class:`~repro.serve.stats.LatencyStats`.
+
+**Structure.**  Requests live in per-``(tenant, group)`` deques with a
+global admission sequence number: ``offer``/``take``/``head_group``/
+``backlog`` are O(1)–O(#subqueues) instead of the former full-list scans
+and ``pop(0)`` shifts, which mattered once per-tenant fair dequeue
+multiplied the subqueue count.  Single-tenant FIFO behavior is preserved
+exactly: the merge order across deques is the admission sequence, so the
+observable offer/take/shed/expire sequences are byte-identical to the old
+list implementation.
+
+**Tenant fairness.**  With a :class:`~repro.serve.tenants.TenantPolicy`
+attached (``tenants=``), dequeue order becomes weighted fair queueing:
+each tenant carries a virtual finish time advanced by ``1/weight`` per
+dequeued request, and ``head_group``/``take`` serve the eligible tenant
+with the smallest finish time (ties by tenant name) instead of global
+FIFO — within one tenant, order stays FIFO.  Overflow under
+``shed-oldest`` becomes *fair-share shedding*: an arrival from a tenant
+already at or over its weighted share of the queue sheds that tenant's
+own oldest request, otherwise the tenant most over its share sheds — so
+an adversarial flood cannibalises itself and a well-behaved tenant's
+backlog survives.  With ``tenants=None`` (the default) every fairness
+branch is skipped and the queue is the plain single-tenant FIFO.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 from .request import QUEUED, REJECTED, SHED, TIMED_OUT, Request
+from .tenants import TenantPolicy
 
 __all__ = ["AdmissionQueue", "OVERFLOW_POLICIES"]
 
@@ -25,9 +50,10 @@ OVERFLOW_POLICIES = ("reject", "shed-oldest")
 
 
 class AdmissionQueue:
-    """FIFO admission queue with bounded depth and explicit overflow."""
+    """Admission queue with bounded depth, explicit overflow, optional WFQ."""
 
-    def __init__(self, depth: int, *, overflow: str = "reject") -> None:
+    def __init__(self, depth: int, *, overflow: str = "reject",
+                 tenants: TenantPolicy | None = None) -> None:
         if depth < 1:
             raise ValueError("queue depth must be >= 1")
         if overflow not in OVERFLOW_POLICIES:
@@ -35,78 +61,252 @@ class AdmissionQueue:
                 f"unknown overflow policy {overflow!r}; "
                 f"choose from {OVERFLOW_POLICIES}"
             )
+        if tenants is not None and not isinstance(tenants, TenantPolicy):
+            tenants = TenantPolicy(weights=dict(tenants))
         self.depth = int(depth)
         self.overflow = overflow
-        self._q: list[Request] = []
+        self.tenants = tenants
+        # (tenant, group) → deque of (seq, Request); seq is the global
+        # admission counter, so min-head-seq across deques is the global
+        # FIFO order the old list implementation exposed.
+        self._sub: dict[tuple, deque] = {}
+        self._size = 0
+        self._seq = 0
+        # Per-tenant queued counts (fair-share shedding) and WFQ virtual
+        # clock state: virtual finish time per tenant + the global virtual
+        # time (the max start time granted so far).
+        self._tenant_count: dict[str, int] = {}
+        self._vft: dict[str, float] = {}
+        self._vnow = 0.0
         self.rejected: list[Request] = []
         self.shed: list[Request] = []
         self.timed_out: list[Request] = []
 
     def __len__(self) -> int:
-        return len(self._q)
+        return self._size
 
     @property
     def is_empty(self) -> bool:
-        return not self._q
+        return self._size == 0
 
+    # -- internals ------------------------------------------------------
+    def _remove_entry(self, key: tuple, seq: int, req: Request) -> None:
+        """Bookkeeping after an entry left the subqueue ``key``."""
+        self._size -= 1
+        t = key[0]
+        self._tenant_count[t] -= 1
+        if self._tenant_count[t] == 0:
+            del self._tenant_count[t]
+        if not self._sub[key]:
+            del self._sub[key]
+
+    def _oldest_key(self, *, tenant: str | None = None,
+                    group: tuple | None = None) -> tuple | None:
+        """Subqueue key holding the globally oldest entry (min head seq),
+        optionally restricted to one tenant and/or one batching group."""
+        best_key = None
+        best_seq = None
+        for key, dq in self._sub.items():
+            if tenant is not None and key[0] != tenant:
+                continue
+            if group is not None and key[1] != group:
+                continue
+            seq = dq[0][0]
+            if best_seq is None or seq < best_seq:
+                best_seq = seq
+                best_key = key
+        return best_key
+
+    def _shed_from(self, key: tuple) -> Request:
+        seq, victim = self._sub[key].popleft()
+        self._remove_entry(key, seq, victim)
+        victim.status = SHED
+        self.shed.append(victim)
+        return victim
+
+    def _weight(self, tenant: str) -> float:
+        assert self.tenants is not None
+        return self.tenants.weight(tenant)
+
+    def _shed_victim_tenant(self, arriving: str) -> str:
+        """Fair-share shedding: whose oldest request goes.
+
+        The arriving tenant sheds *itself* when it is at or over its
+        weighted share of the queue (an adversarial flood pays for its
+        own overflow); otherwise the tenant most over its share sheds,
+        ties broken by tenant name for determinism.
+        """
+        active = sorted(set(self._tenant_count) | {arriving})
+        share = self.tenants.fair_share(arriving, self.depth, active)
+        if self._tenant_count.get(arriving, 0) >= share:
+            return arriving
+        worst = None
+        for t in sorted(self._tenant_count):
+            over = self._tenant_count[t] / self._weight(t)
+            if worst is None or over > worst[0]:
+                worst = (over, t)
+        return worst[1]
+
+    # -- admission ------------------------------------------------------
     def offer(self, req: Request, now: float) -> bool:
         """Admit ``req`` at time ``now``; apply the overflow policy if full.
 
         Returns ``True`` iff the request was admitted.  Either way the
         request (and any evicted one) leaves with a recorded status.
+        ``req.enqueue_s`` is stamped with ``now`` — the admission instant,
+        which a re-offered request (restart/retry paths) resets, so
+        queue-wait accounting (:meth:`expire`) charges only time actually
+        spent in *this* queue residence.
         """
         req.enqueue_s = now
-        if len(self._q) >= self.depth:
+        if self._size >= self.depth:
             if self.overflow == "reject":
                 req.status = REJECTED
                 self.rejected.append(req)
                 return False
-            victim = self._q.pop(0)
-            victim.status = SHED
-            self.shed.append(victim)
+            if self.tenants is not None:
+                victim_tenant = self._shed_victim_tenant(req.tenant)
+                key = self._oldest_key(tenant=victim_tenant)
+                if key is None:  # arriving tenant has nothing queued yet
+                    key = self._oldest_key()
+            else:
+                key = self._oldest_key()
+            self._shed_from(key)
         req.status = QUEUED
-        self._q.append(req)
+        key = (req.tenant, req.group)
+        dq = self._sub.get(key)
+        if dq is None:
+            dq = self._sub[key] = deque()
+        dq.append((self._seq, req))
+        self._seq += 1
+        self._size += 1
+        self._tenant_count[req.tenant] = \
+            self._tenant_count.get(req.tenant, 0) + 1
+        if self.tenants is not None and self._tenant_count[req.tenant] == 1:
+            # Idle → backlogged: re-anchor the tenant's virtual finish to
+            # the current virtual time, so a returning tenant competes
+            # from *now* instead of replaying its idle past — but a
+            # continuously backlogged tenant keeps its finish time, which
+            # is what prevents an aggressive tenant from pushing it
+            # forever into the future (starvation).
+            self._vft[req.tenant] = max(self._vft.get(req.tenant, 0.0),
+                                        self._vnow)
         return True
 
-    def head_group(self) -> tuple:
-        """Batching group of the oldest queued request (FIFO fairness)."""
-        if not self._q:
-            raise LookupError("head_group() on an empty admission queue")
-        return self._q[0].group
+    # -- WFQ dequeue order ----------------------------------------------
+    def _wfq_pick(self, group: tuple | None = None) -> tuple | None:
+        """Subqueue to serve next under WFQ (peek — no virtual-time
+        mutation): the queued tenant with the smallest prospective
+        virtual finish time, ties by tenant name; within the tenant, its
+        oldest entry (optionally restricted to ``group``).
 
-    def expire(self, now: float, timeout_s: float) -> list[Request]:
-        """Time out queued requests older than ``timeout_s`` at ``now``.
-
-        Expired requests leave with status TIMED_OUT and a completion
-        stamp at the moment their timeout elapsed (not at ``now``, which
-        may be later — the batch that exposed the timeout is irrelevant to
-        the client that stopped waiting).
+        The prospective finish is ``vft[t] + 1/weight`` with ``vft``
+        anchored at the tenant's last dequeue (or its idle→backlogged
+        transition, see :meth:`offer`) — *not* re-maxed against the
+        global virtual time, which would let a busy tenant indefinitely
+        postpone a backlogged one.
         """
-        if timeout_s <= 0:
-            raise ValueError("timeout_s must be positive")
-        expired = [r for r in self._q if now - r.arrival_s > timeout_s]
-        if expired:
-            self._q = [r for r in self._q if now - r.arrival_s <= timeout_s]
-            for r in expired:
-                r.status = TIMED_OUT
-                r.complete_s = r.arrival_s + timeout_s
-            self.timed_out.extend(expired)
-        return expired
+        best = None
+        for t in sorted(self._tenant_count):
+            key = self._oldest_key(tenant=t, group=group)
+            if key is None:
+                continue
+            finish = self._vft.get(t, 0.0) + 1.0 / self._weight(t)
+            if best is None or (finish, t) < best[0]:
+                best = ((finish, t), key)
+        return None if best is None else best[1]
+
+    def _wfq_advance(self, tenant: str) -> None:
+        start = self._vft.get(tenant, 0.0)
+        # vnow tracks the virtual start of the request in service (SFQ):
+        # it only re-anchors tenants returning from idle.
+        self._vnow = start
+        self._vft[tenant] = start + 1.0 / self._weight(tenant)
+
+    # -- batch forming ---------------------------------------------------
+    def head_group(self) -> tuple:
+        """Batching group to serve next.
+
+        FIFO mode: the group of the oldest queued request (FIFO fairness
+        across groups).  WFQ mode: the group of the next tenant's oldest
+        request under weighted fair queueing — a pure peek, the virtual
+        clock only advances when :meth:`take` dequeues.
+        """
+        if self._size == 0:
+            raise LookupError("head_group() on an empty admission queue")
+        if self.tenants is not None:
+            key = self._wfq_pick()
+        else:
+            key = self._oldest_key()
+        return key[1]
 
     def backlog(self, group: tuple) -> int:
-        """Number of queued requests in ``group``."""
-        return sum(1 for r in self._q if r.group == group)
+        """Number of queued requests in ``group`` (across all tenants)."""
+        return sum(len(dq) for key, dq in self._sub.items()
+                   if key[1] == group)
 
     def take(self, group: tuple, limit: int) -> list[Request]:
-        """Remove and return up to ``limit`` oldest requests of ``group``."""
+        """Remove and return up to ``limit`` requests of ``group``.
+
+        FIFO mode: the globally oldest requests of the group, in
+        admission order.  WFQ mode: requests are drawn tenant-by-tenant
+        in weighted-fair order (each dequeue advances the tenant's
+        virtual finish time by ``1/weight``), FIFO within each tenant —
+        so one batch interleaves tenants in their service proportions.
+        """
         if limit < 1:
             raise ValueError("batch limit must be >= 1")
         taken: list[Request] = []
-        rest: list[Request] = []
-        for r in self._q:
-            if r.group == group and len(taken) < limit:
-                taken.append(r)
+        while len(taken) < limit:
+            if self.tenants is not None:
+                key = self._wfq_pick(group)
             else:
-                rest.append(r)
-        self._q = rest
+                key = self._oldest_key(group=group)
+            if key is None:
+                break
+            seq, req = self._sub[key].popleft()
+            self._remove_entry(key, seq, req)
+            if self.tenants is not None:
+                self._wfq_advance(key[0])
+            taken.append(req)
         return taken
+
+    # -- expiry ----------------------------------------------------------
+    def expire(self, now: float, timeout_s: float) -> list[Request]:
+        """Time out requests queued longer than ``timeout_s`` at ``now``.
+
+        The timeout base is :attr:`Request.enqueue_s` — the instant this
+        queue admitted the request — **not** ``arrival_s``: a request
+        re-offered after a machine restart or a retry path re-enters the
+        queue with a fresh ``enqueue_s`` and must not be charged
+        queue-wait it never spent waiting here (in the normal serve loop
+        the two coincide, since arrivals are offered at their arrival
+        instants).  Expired requests leave with status TIMED_OUT and
+        ``complete_s = enqueue_s + timeout_s`` — the moment their timeout
+        elapsed, not ``now``, which may be later: the batch that exposed
+        the timeout is irrelevant to the client that stopped waiting.
+        """
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        expired: list[tuple[int, Request]] = []
+        for key in list(self._sub):
+            dq = self._sub[key]
+            keep = deque()
+            for seq, r in dq:
+                if now - r.enqueue_s > timeout_s:
+                    expired.append((seq, r))
+                    self._remove_entry(key, seq, r)
+                else:
+                    keep.append((seq, r))
+            if keep:
+                self._sub[key] = keep
+            else:
+                self._sub.pop(key, None)
+        expired.sort(key=lambda e: e[0])  # admission order, as before
+        out = []
+        for _seq, r in expired:
+            r.status = TIMED_OUT
+            r.complete_s = r.enqueue_s + timeout_s
+            self.timed_out.append(r)
+            out.append(r)
+        return out

@@ -47,6 +47,7 @@ class Request:
     arrival_s: float
     deadline_s: float = math.inf   # absolute deadline (simulated clock)
     k: int = 0                 # kNN only
+    tenant: str = "default"    # multi-tenant admission (repro.serve.tenants)
     # Filled in by the serving loop.
     enqueue_s: float = math.nan
     dispatch_s: float = math.nan
@@ -87,6 +88,7 @@ def make_requests(
     deadline_s: float = math.inf,
     seed: int = 0,
     fresh_points=None,
+    tenants: dict[str, float] | None = None,
 ) -> list[Request]:
     """Build one request per arrival time against ``data``.
 
@@ -96,6 +98,12 @@ def make_requests(
     centred on data samples; inserts come from ``fresh_points(rng)``
     (default: uniform points over the data's bounding box).  ``deadline_s``
     is a per-request *relative* deadline added to the arrival time.
+
+    ``tenants`` maps tenant name → traffic weight: each request is tagged
+    with a tenant drawn from those proportions.  The draw uses its own
+    derived generator so the payload stream is byte-identical to a
+    ``tenants=None`` run (all requests tagged ``"default"``) — tagging
+    never moves a query point.
     """
     if mix is None:
         mix = {"knn": 0.7, "bc": 0.15, "bf": 0.1, "insert": 0.05}
@@ -111,6 +119,16 @@ def make_requests(
         raise ValueError("mix weights must sum to a positive value")
     weights = weights / weights.sum()
     lo, hi = data.min(axis=0), data.max(axis=0)
+
+    tenant_of = None
+    if tenants is not None:
+        names = sorted(tenants)
+        tw = np.array([tenants[t] for t in names], dtype=np.float64)
+        if len(names) == 0 or tw.sum() <= 0:
+            raise ValueError("tenants weights must sum to a positive value")
+        trng = np.random.default_rng(seed + 7_777_777)
+        picks = trng.choice(len(names), size=len(arrivals), p=tw / tw.sum())
+        tenant_of = [names[i] for i in picks]
 
     choice = rng.choice(len(kinds), size=len(arrivals), p=weights)
     out: list[Request] = []
@@ -139,6 +157,7 @@ def make_requests(
                 arrival_s=float(t),
                 deadline_s=float(t) + deadline_s,
                 k=kk,
+                tenant="default" if tenant_of is None else tenant_of[rid],
             )
         )
     return out

@@ -75,6 +75,13 @@ class LatencyStats:
     # degraded + failed + timed out), the fraction that produced a result
     # (full or partial).  1.0 when that population is empty.
     availability: float = 1.0
+    # Per-tenant breakdown (repro.serve.tenants).  Populated only when a
+    # run carries a non-default tenant, so single-tenant runs keep their
+    # exact historical dict/JSON shape.
+    by_tenant: dict = field(default_factory=dict)
+    # Replication accounting (repro.replicate.ReplicaSet.summary),
+    # attached by the serve loop when a ReplicaSet is present.
+    replication: dict | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -101,6 +108,34 @@ class LatencyStats:
         n_batches = len(batches)
         total_batched = sum(b.size for b in batches)
         served = len(answered) + len(failed) + len(timed_out)
+        tenants = sorted({r.tenant for r in requests})
+        by_tenant: dict[str, dict] = {}
+        if tenants and tenants != ["default"]:
+            for t in tenants:
+                t_reqs = [r for r in requests if r.tenant == t]
+                t_done = [r for r in t_reqs if r.status == DONE]
+                t_answered = sorted(
+                    (r for r in t_reqs if r.status in (DONE, DEGRADED)),
+                    key=lambda r: r.rid,
+                )
+                t_on_time = sum(1 for r in t_done if r.on_time)
+                by_tenant[t] = {
+                    "n_offered": len(t_reqs),
+                    "n_done": len(t_done),
+                    "n_rejected": sum(
+                        1 for r in t_reqs if r.status == REJECTED),
+                    "n_shed": sum(1 for r in t_reqs if r.status == SHED),
+                    "n_timed_out": sum(
+                        1 for r in t_reqs if r.status == TIMED_OUT),
+                    "throughput": (len(t_answered) / makespan
+                                   if makespan > 0 else 0.0),
+                    "goodput": (t_on_time / makespan
+                                if makespan > 0 else 0.0),
+                    "latency_s": latency_summary(
+                        r.latency_s for r in t_answered),
+                    "queue_s": latency_summary(
+                        r.queue_s for r in t_answered),
+                }
         return cls(
             n_offered=len(requests),
             n_done=len(done),
@@ -122,11 +157,12 @@ class LatencyStats:
             n_timed_out=len(timed_out),
             n_degraded=len(degraded),
             availability=len(answered) / served if served else 1.0,
+            by_tenant=by_tenant,
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "n_offered": self.n_offered,
             "n_done": self.n_done,
             "n_rejected": self.n_rejected,
@@ -148,6 +184,13 @@ class LatencyStats:
             "mean_batch": self.mean_batch,
             "by_kind": dict(self.by_kind),
         }
+        # Optional sections: omitted entirely when inactive, so runs
+        # without tenants/replicas keep their exact historical JSON.
+        if self.by_tenant:
+            out["by_tenant"] = {t: dict(d) for t, d in self.by_tenant.items()}
+        if self.replication is not None:
+            out["replication"] = dict(self.replication)
+        return out
 
     def to_json(self) -> str:
         """Canonical JSON (sorted keys, fixed separators): byte-identical
@@ -185,5 +228,22 @@ class LatencyStats:
                 f"{label:8s} {s['p50'] * ms:9.3f}ms {s['p90'] * ms:9.3f}ms "
                 f"{s['p99'] * ms:9.3f}ms {s['p999'] * ms:9.3f}ms "
                 f"{s['max'] * ms:9.3f}ms"
+            )
+        for t, d in self.by_tenant.items():
+            s = d["latency_s"]
+            lines.append(
+                f"tenant {t}: offered {d['n_offered']} done {d['n_done']} "
+                f"shed {d['n_shed']} rejected {d['n_rejected']} | "
+                f"goodput {d['goodput']:.1f} req/s | "
+                f"p50 {s['p50'] * ms:.3f}ms p99 {s['p99'] * ms:.3f}ms"
+            )
+        if self.replication is not None:
+            r = self.replication
+            lines.append(
+                f"replication k={r['k']} ({r['write_policy']}): "
+                f"{r['chunks_replicated']} chunks, {r['total_copies']} copies"
+                f" | {r['writes_fanned']} writes fanned | "
+                f"{r['promotions']} promotions | "
+                f"staleness max {r['staleness']['max_s'] * ms:.3f}ms"
             )
         return "\n".join(lines)

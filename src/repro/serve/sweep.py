@@ -124,7 +124,8 @@ def run_shard(spec: dict) -> dict:
     ``spec`` keys: dataset, n, n_modules, index, variant kwargs are
     implicit in index kind, seed, requests, rate, mix, k, deadline_s,
     queue_depth, overflow, policy, fixed_batch, sim_mode, exec_mode,
-    arrival.  Everything in and out is picklable.
+    arrival, tenants (optional tenant→weight dict: tags requests and
+    turns the queue weighted-fair).  Everything in and out is picklable.
     """
     from ..eval.experiments import _dataset
     from ..eval.harness import make_adapter
@@ -143,7 +144,8 @@ def run_shard(spec: dict) -> dict:
                           seed=seed + 1)
     requests = make_requests(
         data, arrivals, mix=spec.get("mix"), k=int(spec.get("k", 10)),
-        deadline_s=float(spec.get("deadline_s", math.inf)), seed=seed + 2)
+        deadline_s=float(spec.get("deadline_s", math.inf)), seed=seed + 2,
+        tenants=spec.get("tenants"))
     adapter = make_adapter(
         spec.get("index", "pim"), data, n_modules=int(spec["n_modules"]),
         seed=seed, sim_mode=spec.get("sim_mode"),
@@ -153,7 +155,8 @@ def run_shard(spec: dict) -> dict:
     loop = ServeLoop(
         adapter,
         AdmissionQueue(int(spec.get("queue_depth", 4096)),
-                       overflow=spec.get("overflow", "reject")),
+                       overflow=spec.get("overflow", "reject"),
+                       tenants=spec.get("tenants")),
         policy)
     result = loop.run(requests)
     s = result.stats
@@ -251,6 +254,7 @@ def run_sweep(
     sim_mode: str | None = None,
     exec_mode: str | None = None,
     arrival: str = "poisson",
+    tenants: dict[str, float] | None = None,
 ) -> SweepResult:
     """Shard ``total_requests`` across ``procs`` serve replicas and merge.
 
@@ -271,7 +275,7 @@ def run_sweep(
         "queue_depth": int(queue_depth), "overflow": overflow,
         "policy": policy, "fixed_batch": int(fixed_batch),
         "sim_mode": sim_mode, "exec_mode": exec_mode,
-        "arrival": arrival,
+        "arrival": arrival, "tenants": tenants,
     }
     specs = _shard_specs(procs=procs, total_requests=total_requests,
                          seed=seed, spec_kw=spec_kw)

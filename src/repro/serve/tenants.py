@@ -1,0 +1,78 @@
+"""Tenant model: SLO classes and weighted-fair shares for admission.
+
+Multi-tenant serving needs two policies the single-tenant queue never
+asked: *who dequeues next* (weighted fair queueing across tenants, so a
+flood from one tenant cannot starve another) and *who gets shed first*
+when the bounded queue overflows (the tenant most over its weighted fair
+share — which, under an adversarial flood, is the flooder itself).
+
+Both are driven by one :class:`TenantPolicy`: a map from tenant name to a
+positive WFQ weight.  Weights usually come from SLO classes
+(:data:`SLO_CLASSES` — gold/silver/bronze at 4/2/1) via
+:meth:`TenantPolicy.from_classes`, but any positive weights work.  A
+tenant absent from the map serves at ``default_weight``, so one policy
+object covers an open tenant population.
+
+Everything here is host-side control-plane arithmetic — no charges, no
+simulator state — and every decision is a pure function of (policy,
+queue contents), so multi-tenant runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_TENANT", "SLO_CLASSES", "TenantPolicy"]
+
+DEFAULT_TENANT = "default"
+
+# SLO class → WFQ weight.  Gold gets 4x a bronze tenant's service share
+# and 4x its share of the bounded queue before fair-share shedding bites.
+SLO_CLASSES = {"gold": 4.0, "silver": 2.0, "bronze": 1.0}
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant WFQ weights (the admission queue's fairness contract)."""
+
+    weights: dict[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.default_weight <= 0.0:
+            raise ValueError("default_weight must be positive")
+        for name, w in self.weights.items():
+            if w <= 0.0:
+                raise ValueError(f"tenant {name!r} weight must be positive")
+
+    @classmethod
+    def from_classes(cls, assignment: dict[str, str],
+                     *, default_weight: float = 1.0) -> "TenantPolicy":
+        """Build a policy from tenant → SLO-class-name assignments."""
+        weights = {}
+        for tenant, klass in assignment.items():
+            if klass not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {klass!r}; "
+                    f"choose from {sorted(SLO_CLASSES)}"
+                )
+            weights[tenant] = SLO_CLASSES[klass]
+        return cls(weights=weights, default_weight=default_weight)
+
+    # ------------------------------------------------------------------
+    def weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def fair_share(self, tenant: str, depth: int,
+                   active: list[str]) -> float:
+        """``tenant``'s weighted share of ``depth`` queue slots.
+
+        ``active`` is the set of tenants competing for the queue right
+        now (queued tenants plus the arrival under consideration); the
+        share is proportional to weight within that set, so an idle
+        tenant's weight never reserves empty slots.
+        """
+        total = sum(self.weight(t) for t in active)
+        if total <= 0.0:
+            return float(depth)
+        return depth * self.weight(tenant) / total

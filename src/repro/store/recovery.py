@@ -36,6 +36,7 @@ from .wal import (
     FAILOVER,
     INSERT,
     MIGRATE,
+    REPLICATE,
     TornTail,
     committed_seqs,
     scan_wal,
@@ -94,6 +95,38 @@ def _replay_migrate(tree, pairs: list[tuple[int, int]]) -> None:
             sys.send(dst, total)
             meta.module = dst
             sys.set_placement_override(("meta", meta.root.nid), dst)
+    tree.refresh_residency()
+
+
+def _replay_replicate(tree, pairs: list[tuple[int, int]]) -> None:
+    """Re-register (and re-charge) journaled secondary-copy installs."""
+    sys = tree.system
+    reps = tree.replicas
+    by_nid = {m.root.nid: m for m in tree.metas}
+    installs = []
+    for nid, dst in pairs:
+        meta = by_nid.get(nid)
+        if meta is None or int(dst) in sys.dead_modules:
+            continue
+        installs.append((meta, int(dst)))
+    if not installs:
+        return
+    if reps is None:
+        # A REPLICATE record without a manifest registry can only come
+        # from clones journaled before the first checkpoint: rebuild an
+        # implicit registry so the copies exist after restart too.
+        from ..replicate import ReplicaSet
+
+        reps = ReplicaSet(tree)
+    sys.charge_cpu(len(installs) * _MIGRATE_CPU_OPS)
+    with sys.round():
+        for meta, dst in installs:
+            words = meta.size_words(tree.config)
+            sys.charge_pim(meta.module, words * _PACK_CYCLES_PER_WORD)
+            sys.recv(meta.module, words)
+            sys.charge_pim(dst, words * _PACK_CYCLES_PER_WORD)
+            sys.send(dst, words)
+            reps.register(meta.root.nid, dst)
     tree.refresh_residency()
 
 
@@ -160,6 +193,35 @@ def recover(backend, *, tracer=None, cost_model=None, validate=True
         # Re-upload the shards through the normal bulk entry point: the
         # same send_bulk fan-out + L0 broadcast a cold build pays.
         tree._upload()
+
+        # Reinstall the replica registry recorded at snapshot time
+        # (repro.replicate): secondaries on modules that died are dropped
+        # (the copy is lost; the rebalancer may re-clone later), the rest
+        # are re-uploaded with the same bulk fan-out the primaries paid.
+        if "replicas" in man:
+            from ..replicate import ReplicaSet
+
+            reps = ReplicaSet.from_manifest(tree, man["replicas"])
+            dead = system.dead_modules
+            by_nid = {m.root.nid: m for m in tree.metas}
+            send_by: dict[int, float] = {}
+            for nid in sorted(reps._secondaries):
+                meta = by_nid.get(nid)
+                if meta is None:
+                    del reps._secondaries[nid]
+                    continue
+                live = tuple(m for m in reps._secondaries[nid]
+                             if m not in dead)
+                if not live:
+                    del reps._secondaries[nid]
+                    continue
+                reps._secondaries[nid] = live
+                words = meta.size_words(tree.config)
+                for mid in live:
+                    send_by[mid] = send_by.get(mid, 0.0) + words
+            if send_by:
+                with system.round():
+                    system.send_bulk(send_by)
         tree.refresh_residency()
 
         # Replay the journal suffix in log order.
@@ -190,6 +252,9 @@ def recover(backend, *, tracer=None, cost_model=None, validate=True
                 replayed += 1
             elif r.kind == MIGRATE:
                 _replay_migrate(tree, r.migrate_pairs())
+                replayed += 1
+            elif r.kind == REPLICATE:
+                _replay_replicate(tree, r.replicate_pairs())
                 replayed += 1
             else:
                 raise WALCorruption(

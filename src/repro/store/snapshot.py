@@ -196,6 +196,14 @@ def encode_tree(tree, *, wal_seq: int = 0) -> SnapshotImage:
             for cid, buf in sorted(chunk_bufs.items())
         },
     }
+    # Replica registry (repro.replicate): checkpoints truncate the WAL, so
+    # the secondary-copy map must ride in the manifest — REPLICATE records
+    # only cover copies installed *after* the snapshot.  Key absent when no
+    # ReplicaSet is attached, keeping replication-off manifests (and the
+    # round-trip byte-identity tests) unchanged.
+    reps = getattr(tree, "replicas", None)
+    if reps is not None:
+        manifest["replicas"] = reps.to_manifest()
     manifest["checksum"] = _manifest_checksum(manifest)
     return SnapshotImage(
         manifest, topology, {c: bytes(b) for c, b in chunk_bufs.items()}
@@ -371,6 +379,7 @@ def decode_tree(image: SnapshotImage, system, *, cost_model=None):
     }
     tree.last_executor = None
     tree.journal = None
+    tree.replicas = None  # rebuilt by recovery from the manifest, if any
     # Re-link nodes to their metas from the recorded assignment.
     for node, midx in decoded:
         node.meta = metas[midx] if midx >= 0 else None

@@ -17,7 +17,13 @@ kind   name      payload
 3      COMMIT    u64 target_seq — the batch with that seq completed
 4      FAILOVER  u32 mid — module failed over (self-committed)
 5      MIGRATE   u32 n, n × (u64 meta_root_nid, u32 dst) (self-committed)
+6      REPLICATE u32 n, n × (u64 meta_root_nid, u32 dst) (self-committed)
 ====== ========= ==========================================================
+
+A REPLICATE record shares MIGRATE's pairs payload but registers ``dst``
+as a *secondary copy* of the chunk (mastership unchanged) — written when
+the rebalancer clones a hot chunk (``repro.balance``) or a ReplicaSet
+installs its initial copies (``repro.replicate``).
 
 **Write-ahead + commit markers.**  ``insert_batch``/``delete_batch``
 append their data record *before* mutating the tree and append the
@@ -50,7 +56,7 @@ import numpy as np
 from .errors import WALCorruption
 
 __all__ = [
-    "INSERT", "DELETE", "COMMIT", "FAILOVER", "MIGRATE",
+    "INSERT", "DELETE", "COMMIT", "FAILOVER", "MIGRATE", "REPLICATE",
     "WALRecord", "TornTail", "encode_record", "scan_wal", "UpdateJournal",
 ]
 
@@ -63,9 +69,11 @@ DELETE = 2
 COMMIT = 3
 FAILOVER = 4
 MIGRATE = 5
+REPLICATE = 6
 
 _KIND_NAMES = {INSERT: "insert", DELETE: "delete", COMMIT: "commit",
-               FAILOVER: "failover", MIGRATE: "migrate"}
+               FAILOVER: "failover", MIGRATE: "migrate",
+               REPLICATE: "replicate"}
 
 
 @dataclass(slots=True)
@@ -105,6 +113,9 @@ class WALRecord:
             out.append((int(nid), int(dst)))
             off += 12
         return out
+
+    # REPLICATE shares MIGRATE's pairs payload (nid, secondary dst).
+    replicate_pairs = migrate_pairs
 
 
 @dataclass(slots=True)
@@ -222,3 +233,10 @@ class UpdateJournal:
             struct.pack("<QI", int(nid), int(dst)) for nid, dst in pairs
         )
         return self._append(MIGRATE, payload)
+
+    def log_replicate(self, pairs: list[tuple[int, int]]) -> int:
+        """Secondary-copy installs: (chunk root nid, destination module)."""
+        payload = struct.pack("<I", len(pairs)) + b"".join(
+            struct.pack("<QI", int(nid), int(dst)) for nid, dst in pairs
+        )
+        return self._append(REPLICATE, payload)

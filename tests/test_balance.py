@@ -93,6 +93,45 @@ class TestHotnessTracker:
         imb = HotnessTracker(sys).imbalance()
         assert set(imb) >= {"max_mean_ratio", "gini", "max", "mean", "total"}
 
+    def test_rebase_survives_crash_restart(self):
+        """Regression: ``module_loads()`` is cumulative per *system*, so
+        after a crash restart swaps in a freshly built PIMSystem, a
+        tracker still holding the old baseline folds a huge negative
+        delta — driving heat negative, disabling the detector and
+        corrupting victim selection.  ``rebase`` re-anchors the baseline
+        without folding a delta and keeps the accumulated EWMA skew."""
+        old = PIMSystem(4, seed=0)
+        tr = HotnessTracker(old, alpha=0.5)
+        old.modules[2].total_cycles = 1000.0
+        tr.observe()
+        assert tr.hotness[2] == pytest.approx(500.0)
+        fresh = PIMSystem(4, seed=0)  # restart: counters back to zero
+        tr.rebase(fresh)
+        assert tr.system is fresh
+        d = tr.observe()  # no work since the restart: delta 0, not -1000
+        assert np.all(d == 0.0)
+        assert np.all(tr.hotness >= 0.0)
+        assert tr.hotness[2] == pytest.approx(250.0)  # skew survives
+
+    def test_rebase_validates_module_count(self):
+        tr = HotnessTracker(PIMSystem(4, seed=0))
+        with pytest.raises(ValueError):
+            tr.rebase(PIMSystem(8, seed=0))
+
+    def test_rebalancer_rebind_swaps_tree_and_rebases(self):
+        ad1 = make_adapter()
+        reb = OnlineRebalancer(ad1.tree)
+        ad1.knn(varden_points(64, 3, seed=1), 5)
+        reb.tracker.observe()
+        ad2 = make_adapter(seed=SEED + 1)  # the restarted machine
+        reb.rebind(ad2.tree)
+        assert reb.tree is ad2.tree
+        assert reb.planner.tree is ad2.tree
+        assert reb.tracker.system is ad2.system
+        # The very next observation sees only post-restart work.
+        assert np.all(reb.tracker.observe() == 0.0)
+        assert np.all(reb.tracker.hotness >= 0.0)
+
     def test_alpha_validation(self):
         sys = PIMSystem(2, seed=0)
         with pytest.raises(ValueError):
@@ -275,7 +314,8 @@ class TestExecutor:
         before = ad.system.stats.snapshot()
         from repro.balance.planner import MigrationPlan
         out = execute_plan(ad.tree, MigrationPlan())
-        assert out == {"moves": 0, "words_moved": 0.0, "mandatory_moves": 0}
+        assert out == {"moves": 0, "words_moved": 0.0, "mandatory_moves": 0,
+                       "clones": 0}
         assert ad.system.stats.snapshot().diff(before).total.rounds == 0
 
     def test_charges_booked_under_rebalance_phase_only(self):

@@ -127,6 +127,32 @@ class TestAdmissionQueue:
         assert q.head_group() == ("bc", 0)  # b[0] is now oldest
         assert len(q) == 3
 
+    def test_expire_counts_from_enqueue_not_arrival(self):
+        """Regression: a request re-offered late (restart/retry paths)
+        must not be charged queue-wait it never spent here.  The old
+        implementation timed out against ``arrival_s``, expiring this
+        request (now=12, arrival=0, timeout=5) despite only 2s in queue."""
+        q = AdmissionQueue(4)
+        r = _req(0, t=0.0)
+        q.offer(r, now=10.0)  # re-enters the queue long after arrival
+        assert q.expire(12.0, 5.0) == []
+        assert r.status == "queued" and len(q) == 1
+        # Once 5s of *queue residence* elapse it does expire, stamped at
+        # the instant the timeout elapsed, not at the expire() call.
+        assert q.expire(15.5, 5.0) == [r]
+        assert r.status == "timed_out"
+        assert r.complete_s == r.enqueue_s + 5.0 == 15.0
+
+    def test_expired_leave_in_admission_order(self):
+        q = AdmissionQueue(8)
+        reqs = [_req(i, kind=("knn" if i % 2 else "bc"),
+                     k=(10 if i % 2 else 0)) for i in range(6)]
+        for r in reqs:
+            q.offer(r, now=0.0)
+        out = q.expire(10.0, 1.0)
+        assert [r.rid for r in out] == [0, 1, 2, 3, 4, 5]
+        assert q.is_empty and q.timed_out == out
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionQueue(0)
