@@ -1,0 +1,156 @@
+"""Membership routing: FPR vs. traffic saved, uniform vs. Varden skew.
+
+A point-lookup/delete workload where half the keys are absent — the
+regime membership filters exist for.  For each dataset the sweep runs
+filters-off plus four false-positive-rate targets at the paper's
+headline P = 2048 and records the communicated words of the workload
+(filter maintenance charges included — rebuilds charge host ops and a
+DRAM stream, never the interconnect), the fraction saved versus
+filters-off, observed false-positive probes, and resident filter size.
+
+Acceptance bar: at the default FPR (0.01) the Varden-skew workload must
+cut communicated words by at least 20%.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/test_route_filter.py -q
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.eval.harness import PIMZdTreeAdapter
+from repro.route import DEFAULT_FPR, RouteFilterSet
+from repro.workloads import uniform_points, varden_points
+
+P = 2048
+N = 20_000
+# Lookup-heavy, miss-heavy: the classic membership-filter regime (check
+# before fetch).  The delete batch stays small — removing *present* rows
+# re-ships the touched chunks, identical work in both runs that no
+# filter can (or should) suppress.
+N_LOOKUPS = 24_576        # half present, half absent
+N_DELETES = 128           # half present, half absent
+SEED = 11
+FPRS = (0.001, 0.01, 0.05, 0.1)
+MIN_VARDEN_SAVINGS = 0.20
+
+_GENERATORS = {"uniform": uniform_points, "varden": varden_points}
+_ROWS: dict[tuple[str, str], dict] = {}
+
+
+def _workload(name: str):
+    """Dataset plus lookup/delete batches with *key-absent* negatives.
+
+    "Absent" must mean absent at Morton-key granularity: on Varden the
+    clusters are so dense that fresh draws routinely quantize onto
+    resident keys, which no membership filter can (or should) prune.
+    Candidates are rejection-filtered through a throwaway tree's codec.
+    """
+    gen = _GENERATORS[name]
+    data = gen(N, 3, seed=SEED)
+    rng = np.random.default_rng(SEED + 1)
+    n_absent = N_LOOKUPS // 2 + N_DELETES // 2
+    from repro.core.morton import MortonCodec
+
+    codec = MortonCodec.fit(data)  # same fit the adapter's tree performs
+    resident = np.unique(codec.encode(data))
+    pool = np.vstack([gen(4 * n_absent, 3, seed=SEED + 2),
+                      uniform_points(4 * n_absent, 3, seed=SEED + 3)])
+    pool = pool[~np.isin(codec.encode(pool), resident)]
+    assert len(pool) >= n_absent, f"absent pool too small for {name}"
+    absent = pool[:n_absent]
+    lookups = np.vstack([
+        data[rng.integers(0, N, size=N_LOOKUPS // 2)],
+        absent[: N_LOOKUPS // 2],
+    ])
+    deletes = np.vstack([
+        data[rng.choice(N, size=N_DELETES // 2, replace=False)],
+        absent[N_LOOKUPS // 2:],
+    ])
+    return data, lookups, deletes
+
+
+def _presence(results):
+    out = []
+    for r in results:
+        present = False
+        if r.leaf is not None and r.leaf.keys is not None:
+            key = np.uint64(r.key)
+            j = int(np.searchsorted(r.leaf.keys, key))
+            present = j < len(r.leaf.keys) and bool(r.leaf.keys[j] == key)
+        out.append(present)
+    return out
+
+
+def _run(name: str, fpr: float | None) -> dict:
+    data, lookups, deletes = _workload(name)
+    adapter = PIMZdTreeAdapter(data, n_modules=P, seed=SEED)
+    tree = adapter.tree
+    if fpr is not None:
+        RouteFilterSet(tree, fpr=fpr)
+    base = tree.system.stats.to_dict()["total"]
+    results = tree.search(lookups)
+    removed = tree.delete(deletes)
+    tot = tree.system.stats.to_dict()["total"]
+    row = {
+        "comm_words": tot["comm_words"] - base["comm_words"],
+        "cpu_ops": tot["cpu_ops"] - base["cpu_ops"],
+        "hits": _presence(results),
+        "removed": removed,
+    }
+    if fpr is not None:
+        s = tree.route_filters.summary()
+        row.update(pruned=s["queries_pruned"], fp=s["fp_probes"],
+                   kib=s["filter_kib"])
+    return row
+
+
+@pytest.mark.parametrize("dataset", sorted(_GENERATORS))
+def test_route_filter_sweep(benchmark, dataset):
+    def run():
+        rows = {"off": _run(dataset, None)}
+        for fpr in FPRS:
+            rows[f"{fpr:g}"] = _run(dataset, fpr)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    off = rows["off"]
+    for label, row in rows.items():
+        # The logical answers never move: same lookup hits, same removals.
+        assert row["hits"] == off["hits"], (dataset, label)
+        assert row["removed"] == off["removed"], (dataset, label)
+        row["saved"] = 1.0 - row["comm_words"] / off["comm_words"]
+        _ROWS[(dataset, label)] = row
+        benchmark.extra_info[f"{label}:saved_pct"] = round(
+            100 * row["saved"], 2)
+
+
+def test_route_filter_report_and_criterion(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "sweep must run first"
+    print("\n=== Membership routing — lookup/delete words vs. FPR "
+          f"(P={P}, n={N}, 50% absent keys) ===")
+    header = ["dataset", "fpr", "comm words", "saved %", "pruned",
+              "fp probes", "filter KiB"]
+    out = []
+    for (dataset, label), row in sorted(_ROWS.items()):
+        out.append([
+            dataset, label, f"{row['comm_words']:,.0f}",
+            f"{100 * row['saved']:.1f}",
+            row.get("pruned", "-"), row.get("fp", "-"),
+            row.get("kib", "-"),
+        ])
+    print(format_table(header, out))
+
+    default = f"{DEFAULT_FPR:g}"
+    varden = _ROWS[("varden", default)]
+    assert varden["saved"] >= MIN_VARDEN_SAVINGS, (
+        f"varden savings {100 * varden['saved']:.1f}% at default FPR "
+        f"below the {100 * MIN_VARDEN_SAVINGS:.0f}% bar"
+    )
+    # Tighter filters never save less than looser ones on either dataset.
+    for dataset in _GENERATORS:
+        saved = [_ROWS[(dataset, f"{f:g}")]["saved"] for f in FPRS]
+        assert saved[0] >= saved[-1] - 1e-9, (dataset, saved)

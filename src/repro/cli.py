@@ -281,6 +281,13 @@ def _add_serve_args(p: argparse.ArgumentParser,
     p.add_argument("--staleness-ms", type=float, default=1.0,
                    help="staleness bound for --write-policy primary-async "
                         "(simulated ms)")
+    p.add_argument("--route-filter", action="store_true",
+                   help="install host-resident membership filters that "
+                        "suppress provably-empty sends on point lookups, "
+                        "deletes and kNN fetches (answers unchanged)")
+    p.add_argument("--route-fpr", type=float, default=None, metavar="FPR",
+                   help="Bloom false-positive rate target for "
+                        "--route-filter (default 0.01)")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -434,6 +441,32 @@ def _make_replication(args: argparse.Namespace, adapter):
     return ReplicaSet(adapter.tree, cfg).replicate_all()
 
 
+def _make_route_filters(args: argparse.Namespace, adapter):
+    """Attach membership-filter routing for ``--route-filter``.
+
+    Returns ``None`` (flag unset), a summary dict, or the sentinel ``2``
+    on a usage error.  The filter build is charged (``route`` phase).
+    """
+    if not getattr(args, "route_filter", False):
+        if getattr(args, "route_fpr", None) is not None:
+            print("error: --route-fpr requires --route-filter")
+            return 2
+        return None
+    if not hasattr(adapter, "tree"):
+        print(f"error: --route-filter requires a pim index adapter "
+              f"(got {args.index!r})")
+        return 2
+    from .route import DEFAULT_FPR, RouteFilterSet
+
+    fpr = args.route_fpr if args.route_fpr is not None else DEFAULT_FPR
+    try:
+        rf = RouteFilterSet(adapter.tree, fpr=fpr)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+    return rf.summary()
+
+
 def _make_rebalancer(args: argparse.Namespace, adapter):
     """Build the online rebalancer for ``--rebalance`` (or return None).
 
@@ -542,6 +575,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     if replication is not None:
         print(f"replication: installed {replication['installed']} secondary "
               f"copies ({replication['words']:,.0f} words)")
+    filters = _make_route_filters(args, adapter)
+    if filters == 2:
+        return 2
+    if filters is not None:
+        print(f"route filters: fpr={filters['fpr']:g}, "
+              f"{filters['keys_indexed']} keys indexed, "
+              f"{filters['filter_kib']:.1f} KiB resident")
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2
@@ -596,6 +636,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.replicate is not None:
         print("error: --replicate is not supported by sweep "
               "(shards are independent replicas)")
+        return 2
+    if args.route_filter:
+        print("error: --route-filter is not supported by sweep "
+              "(shards build their own adapters)")
         return 2
     tenants = _parse_tenants(args.tenants)
     if tenants == 2:
@@ -742,6 +786,13 @@ def _run_faults(args: argparse.Namespace) -> int:
     if replication is not None:
         print(f"replication: installed {replication['installed']} secondary "
               f"copies ({replication['words']:,.0f} words)")
+    filters = _make_route_filters(args, adapter)
+    if filters == 2:
+        return 2
+    if filters is not None:
+        print(f"route filters: fpr={filters['fpr']:g}, "
+              f"{filters['keys_indexed']} keys indexed, "
+              f"{filters['filter_kib']:.1f} KiB resident")
     rebalancer = _make_rebalancer(args, adapter)
     if rebalancer == 2:
         return 2

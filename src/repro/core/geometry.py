@@ -112,12 +112,16 @@ def dist(a: np.ndarray, b: np.ndarray, metric: Metric = L2) -> np.ndarray:
     b = np.asarray(b, dtype=np.float64)
     diff = np.abs(a - b)
     if metric.name == "l1":
-        return diff.sum(axis=-1)
-    if metric.name == "linf":
-        return diff.max(axis=-1)
-    if metric.name == "l2":
-        return np.sqrt((diff * diff).sum(axis=-1))
-    raise ValueError(f"unknown metric {metric.name!r}")
+        out = diff.sum(axis=-1)
+    elif metric.name == "linf":
+        out = diff.max(axis=-1)
+    elif metric.name == "l2":
+        out = np.sqrt((diff * diff).sum(axis=-1))
+    else:
+        raise ValueError(f"unknown metric {metric.name!r}")
+    # Single-point (1-D) inputs reduce to a 0-d array; callers on the kNN
+    # heap path compare against Python floats, so hand back a true float.
+    return float(out) if out.ndim == 0 else out
 
 
 def dist_point_box(p: np.ndarray, box: Box, metric: Metric = L2) -> np.ndarray:
@@ -125,12 +129,14 @@ def dist_point_box(p: np.ndarray, box: Box, metric: Metric = L2) -> np.ndarray:
     p = np.asarray(p, dtype=np.float64)
     gap = np.maximum(np.maximum(box.lo - p, p - box.hi), 0.0)
     if metric.name == "l1":
-        return gap.sum(axis=-1)
-    if metric.name == "linf":
-        return gap.max(axis=-1)
-    if metric.name == "l2":
-        return np.sqrt((gap * gap).sum(axis=-1))
-    raise ValueError(f"unknown metric {metric.name!r}")
+        out = gap.sum(axis=-1)
+    elif metric.name == "linf":
+        out = gap.max(axis=-1)
+    elif metric.name == "l2":
+        out = np.sqrt((gap * gap).sum(axis=-1))
+    else:
+        raise ValueError(f"unknown metric {metric.name!r}")
+    return float(out) if out.ndim == 0 else out
 
 
 def l1_radius_bound(l1_kth_dist: float, dims: int) -> float:

@@ -196,12 +196,19 @@ class PushPullExecutor:
         handler: Handler,
         *,
         round_hook: Callable[[dict[int, list]], None] | None = None,
+        prune: Callable[[Task], bool] | None = None,
     ) -> dict[int, list]:
         """Execute ``tasks`` (and everything they emit) to completion.
 
         Returns ``{qid: [results...]}``.  ``round_hook`` runs on the CPU
         after each round with the results accumulated so far — kNN uses it
         to merge candidate sets and tighten pruning radii between rounds.
+
+        ``prune`` is the membership-filter hook (repro.route): it runs on
+        the host at frontier-formation time — before grouping, read
+        routing, or any charge for the round — and returning True drops
+        the task, suppressing its send entirely.  Both exec modes share
+        this one site, so filter decisions are identical by construction.
         """
         results: dict[int, list] = defaultdict(list)
         # Group kernels (repro.core.vexec) process a whole meta's task
@@ -217,7 +224,20 @@ class PushPullExecutor:
             by_meta: dict[MetaNode, list[Task]] = defaultdict(list)
             for t in frontier:
                 by_meta[t.meta].append(t)
+            # Push/pull decisions use the *offered* load — the frontier
+            # before filtering.  Pruning a task then only ever removes its
+            # send; it can never flip a straggler-avoidance pull into a
+            # push (or vice versa), so a filtered round charges a strict
+            # subset of the unfiltered round's communication and cycles.
             pulled = self._decide_pulls(by_meta)
+            if prune is not None:
+                by_meta = {
+                    m: kept
+                    for m, ts in by_meta.items()
+                    if (kept := [t for t in ts if not prune(t)])
+                }
+                if not by_meta:
+                    break
             next_frontier: list[Task] = []
             pulled_items: list[tuple[MetaNode, list[Task]]] = []
 

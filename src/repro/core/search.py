@@ -42,7 +42,7 @@ class SearchResult:
       diverges above the root).
     """
 
-    __slots__ = ("qid", "key", "leaf", "edge", "trace")
+    __slots__ = ("qid", "key", "leaf", "edge", "trace", "pruned")
 
     def __init__(self, qid: int, key: int) -> None:
         self.qid = qid
@@ -50,6 +50,10 @@ class SearchResult:
         self.leaf: Node | None = None
         self.edge: tuple[Node | None, Node] | None = None
         self.trace: list[Node] = []
+        # Membership-filter verdict (repro.route): the descent was
+        # suppressed because the key is provably absent.  Consumers treat
+        # this exactly like a key that searched to a miss.
+        self.pruned = False
 
 
 def route_through_l0(tree, results: list[SearchResult]) -> list[Task]:
@@ -156,7 +160,21 @@ def search_batch(tree, points: np.ndarray, *, phase: str = "search"
     with sys.phase(phase):
         keys = tree.encode_keys(points)
         results = [SearchResult(i, int(k)) for i, k in enumerate(keys)]
-        tasks = route_through_l0(tree, results)
+        # Membership-filter routing (repro.route): point lookups and
+        # delete planning may suppress descents for provably-absent keys.
+        # Phases whose answers depend on the full descent (insert needs
+        # the target leaf/edge; kNN needs the byte-identical trace) are
+        # never pruned.  With a replicated L0 even the routing round is a
+        # send, so the global filter gates it; a host-resident L0 walks
+        # for free and queries are screened at their first L1/L2 task.
+        rf = getattr(tree, "route_filters", None)
+        use_rf = (rf is not None and rf.enabled
+                  and phase in ("search", "delete"))
+        live, pre_probed = results, None
+        if use_rf and not tree.l0_on_cpu:
+            live, pre_probed = rf.prune_l0_route(results)
+        tasks = route_through_l0(tree, live) if live else []
+        prune = rf.make_search_prune(results, pre_probed) if use_rf else None
         if tasks:
             executor = PushPullExecutor(tree)
             handler = make_search_handler(tree, results)
@@ -164,8 +182,10 @@ def search_batch(tree, points: np.ndarray, *, phase: str = "search"
                 from .vexec import make_search_group_kernel
 
                 handler.group_kernel = make_search_group_kernel(tree, results)
-            executor.run(tasks, handler)
+            executor.run(tasks, handler, prune=prune)
             tree.last_executor = executor
+        if prune is not None:
+            rf.account_search(results, prune.probed)
         # The trace records land in host memory.
         sys.charge_cpu(len(results) * 2, span=np.log2(len(results) + 2))
     return results

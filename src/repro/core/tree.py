@@ -89,6 +89,9 @@ class PIMZdTree:
         # K-way replica registry (repro.replicate): attached by ReplicaSet;
         # None means single-copy mastership — all replica hooks inert.
         self.replicas = None
+        # Membership-filter routing (repro.route): attached by
+        # RouteFilterSet; None means no filters — all routing hooks inert.
+        self.route_filters = None
 
         with self.system.phase("build"):
             keys = self.encode_keys(points)
@@ -521,6 +524,16 @@ class PIMZdTree:
             for m in self.system.modules:
                 if not m.failed:
                     m.alloc_cache(w)
+        # The kNN sibling-box cache only ever holds per-node geometry that
+        # cannot go stale, but structural changes discard nodes — drop
+        # their entries here so the cache tracks the live L0.
+        self.__dict__.pop("_pair_box_cache", None)
+        # Membership filters (repro.route) rebuild whenever residency
+        # changes: every path that moves keys (upload, insert/delete,
+        # migrate/clone, replica install/promotion, failover, recovery)
+        # funnels through here under its charged phase.
+        if self.route_filters is not None:
+            self.route_filters.rebuild()
 
     def space_words(self) -> dict[str, float]:
         """Space consumption split by category (Theorem 5.1)."""

@@ -1,0 +1,12 @@
+"""Membership-filter routing: suppress provably-empty sends.
+
+See :mod:`repro.route.filters` for the design; the short version is a
+host-resident, seeded, deterministic Bloom filter per module (plus a
+global one and per-chunk zvalue-range summaries) maintained under the
+charged phases that move keys, consulted by the query planners before
+every send they can prove empty.
+"""
+
+from .filters import DEFAULT_FPR, RouteFilterSet
+
+__all__ = ["RouteFilterSet", "DEFAULT_FPR"]

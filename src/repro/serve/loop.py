@@ -288,12 +288,21 @@ class ServeLoop:
         result = ServeResult(requests=pending, batches=batches)
         if reps is not None:
             result.stats.replication = reps.summary()
+        rf = self._route_filters()
+        if rf is not None:
+            result.stats.filters = rf.summary()
         return result
 
     def _replicas(self):
         """The adapter tree's ReplicaSet, or None (re-read every time —
         a crash restart swaps the tree out from under the loop)."""
         return getattr(getattr(self.adapter, "tree", None), "replicas", None)
+
+    def _route_filters(self):
+        """The adapter tree's RouteFilterSet, or None (re-read like
+        :meth:`_replicas` — recovery reattaches filters to a fresh tree)."""
+        return getattr(
+            getattr(self.adapter, "tree", None), "route_filters", None)
 
     # ------------------------------------------------------------------
     def _dispatch(self, batch: list[Request], now: float = 0.0

@@ -82,6 +82,10 @@ class LatencyStats:
     # Replication accounting (repro.replicate.ReplicaSet.summary),
     # attached by the serve loop when a ReplicaSet is present.
     replication: dict | None = None
+    # Membership-filter routing accounting
+    # (repro.route.RouteFilterSet.summary), attached by the serve loop
+    # when filters are installed on the adapter's tree.
+    filters: dict | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -190,6 +194,8 @@ class LatencyStats:
             out["by_tenant"] = {t: dict(d) for t, d in self.by_tenant.items()}
         if self.replication is not None:
             out["replication"] = dict(self.replication)
+        if self.filters is not None:
+            out["filters"] = dict(self.filters)
         return out
 
     def to_json(self) -> str:
@@ -245,5 +251,14 @@ class LatencyStats:
                 f" | {r['writes_fanned']} writes fanned | "
                 f"{r['promotions']} promotions | "
                 f"staleness max {r['staleness']['max_s'] * ms:.3f}ms"
+            )
+        if self.filters is not None:
+            f = self.filters
+            lines.append(
+                f"route filters (fpr={f['fpr']:g}): "
+                f"{f['queries_pruned']} queries pruned | "
+                f"{f['words_saved']:.0f} words saved | "
+                f"{f['fp_probes']} false-positive probes | "
+                f"{f['filter_kib']:.1f} KiB resident"
             )
         return "\n".join(lines)

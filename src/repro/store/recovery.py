@@ -224,6 +224,17 @@ def recover(backend, *, tracer=None, cost_model=None, validate=True
                     system.send_bulk(send_by)
         tree.refresh_residency()
 
+        # Reattach the membership filters (repro.route) recorded at
+        # snapshot time *before* replay: the bit arrays rebuild from the
+        # restored residency (a pure function of keys + seed, so they
+        # match the pre-crash filters bit-for-bit) and the replayed
+        # batches then maintain them exactly as the originals did.  The
+        # rebuild charges land in the pinned "recovery" phase.
+        if "route_filters" in man:
+            from ..route import RouteFilterSet
+
+            RouteFilterSet.from_manifest(tree, man["route_filters"])
+
         # Replay the journal suffix in log order.
         for r in records:
             max_seq = max(max_seq, r.seq)

@@ -204,6 +204,14 @@ def encode_tree(tree, *, wal_seq: int = 0) -> SnapshotImage:
     reps = getattr(tree, "replicas", None)
     if reps is not None:
         manifest["replicas"] = reps.to_manifest()
+    # Membership filters (repro.route): persist only (fpr, seed, enabled)
+    # — the bit arrays are a pure function of residency and seed, so
+    # recovery rebuilds them bit-identically under its pinned phase.  Key
+    # absent when no RouteFilterSet is attached, keeping filters-off
+    # manifests byte-identical.
+    rf = getattr(tree, "route_filters", None)
+    if rf is not None:
+        manifest["route_filters"] = rf.to_manifest()
     manifest["checksum"] = _manifest_checksum(manifest)
     return SnapshotImage(
         manifest, topology, {c: bytes(b) for c, b in chunk_bufs.items()}
@@ -380,6 +388,7 @@ def decode_tree(image: SnapshotImage, system, *, cost_model=None):
     tree.last_executor = None
     tree.journal = None
     tree.replicas = None  # rebuilt by recovery from the manifest, if any
+    tree.route_filters = None  # reattached by recovery from the manifest
     # Re-link nodes to their metas from the recorded assignment.
     for node, midx in decoded:
         node.meta = metas[midx] if midx >= 0 else None

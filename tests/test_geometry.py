@@ -157,3 +157,40 @@ class TestAnchoring:
         # ℓ2 carries the 32-cycle multiply penalty; ℓ1/ℓ∞ do not (§6).
         assert L2.pim_cycles_per_dim > 10 * L1.pim_cycles_per_dim
         assert LINF.pim_cycles_per_dim == L1.pim_cycles_per_dim
+
+
+class TestScalarReturnType:
+    """Single-point (1-D) inputs must yield a true Python float.
+
+    The old code returned a 0-d NumPy array from the ``axis=-1`` reduction,
+    which callers on the kNN heap path then compared against Python floats
+    (works, but silently allocates) and which breaks ``float``-typed
+    consumers like sort keys and JSON export.
+    """
+
+    @pytest.mark.parametrize("metric", [L1, L2, LINF])
+    def test_dist_scalar_is_float(self, metric):
+        d = dist(np.array([0.1, 0.2, 0.3]), np.array([0.4, 0.0, 0.3]), metric)
+        assert type(d) is float
+        # Batched inputs keep returning arrays.
+        dd = dist(np.tile([0.1, 0.2, 0.3], (4, 1)), np.zeros(3), metric)
+        assert isinstance(dd, np.ndarray) and dd.shape == (4,)
+
+    @pytest.mark.parametrize("metric", [L1, L2, LINF])
+    def test_dist_point_box_scalar_is_float(self, metric):
+        box = Box(np.zeros(3), np.ones(3))
+        d = dist_point_box(np.array([1.5, 0.5, -0.25]), box, metric)
+        assert type(d) is float
+        dd = dist_point_box(np.array([[1.5, 0.5, 0.0], [0.1, 0.1, 0.1]]),
+                            box, metric)
+        assert isinstance(dd, np.ndarray) and dd.shape == (2,)
+
+    def test_scalar_value_matches_array_path(self, rng):
+        p = rng.random(5)
+        q = rng.random(5)
+        box = Box(np.sort(rng.random(5)) * 0.3, 0.5 + np.sort(rng.random(5)) * 0.5)
+        for metric in (L1, L2, LINF):
+            assert dist(p, q, metric) == float(dist(p[None, :], q, metric)[0])
+            assert dist_point_box(p, box, metric) == float(
+                dist_point_box(p[None, :], box, metric)[0]
+            )

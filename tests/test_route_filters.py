@@ -1,0 +1,300 @@
+"""Unit tests for membership-filter routing (repro.route).
+
+The contract under test: filters may only suppress **provably-empty**
+sends.  Answers (search/delete/kNN) stay byte-identical to a filters-off
+run, communicated words and rounds never increase, and the no-false-
+negative property of the Bloom construction holds for every resident
+key.  Maintenance is charged, persisted via the snapshot manifest, and
+rebuilt bit-identically on crash-restart.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import PIMZdTree
+from repro.core.config import skew_resistant
+from repro.pim import PIMSystem
+from repro.route import DEFAULT_FPR, RouteFilterSet
+from repro.route.filters import _splitmix_array, _splitmix_int
+from repro.store import DurableStore, open_backend, recover
+
+N_MODULES = 8
+
+
+def make_tree(pts, *, n_modules=N_MODULES, exec_mode=None, fpr=None,
+              seed=0):
+    cfg = skew_resistant(n_modules)
+    if exec_mode is not None:
+        cfg = cfg.with_overrides(exec_mode=exec_mode)
+    tree = PIMZdTree(np.asarray(pts, dtype=np.float64), config=cfg,
+                     system=PIMSystem(n_modules, seed=0),
+                     bounds=(np.zeros(pts.shape[1]), np.ones(pts.shape[1])))
+    if fpr is not None:
+        RouteFilterSet(tree, fpr=fpr, seed=seed)
+    return tree
+
+
+def search_presence(results):
+    """The observable answer of a point lookup: present or not."""
+    out = []
+    for r in results:
+        present = False
+        if r.leaf is not None and r.leaf.keys is not None:
+            key = np.uint64(r.key)
+            j = int(np.searchsorted(r.leaf.keys, key))
+            present = j < len(r.leaf.keys) and r.leaf.keys[j] == key
+        out.append(present)
+    return out
+
+
+def comm_words(tree) -> float:
+    return tree.system.stats.to_dict()["total"]["comm_words"]
+
+
+# ----------------------------------------------------------------------
+# hashing + construction invariants
+# ----------------------------------------------------------------------
+def test_scalar_and_vector_hash_agree():
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 2**63, size=500, dtype=np.uint64)
+    for salt in (0, 1, 17, 2**40 + 5):
+        vec = _splitmix_array(keys, salt)
+        for key, h in zip(keys[:50], vec[:50]):
+            assert _splitmix_int(int(key), salt) == int(h)
+
+
+def test_no_false_negatives_over_resident_keys():
+    rng = np.random.default_rng(5)
+    tree = make_tree(rng.random((3000, 3)), fpr=0.01)
+    rf = tree.route_filters
+    for meta in tree.metas:
+        stack = [meta.root]
+        while stack:
+            node = stack.pop()
+            if node.meta is not meta:
+                continue
+            if node.keys is not None:
+                for key in node.keys:
+                    assert rf._probe_global(int(key))
+                    assert rf._probe_module(meta.module, int(key))
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+
+
+def test_meta_info_closedness_is_structural():
+    rng = np.random.default_rng(6)
+    tree = make_tree(rng.random((4000, 3)), fpr=0.01)
+    rf = tree.route_filters
+    for meta in tree.metas:
+        crosses = False
+        stack = [meta.root]
+        while stack:
+            node = stack.pop()
+            if node.meta is not meta:
+                crosses = True
+                continue
+            if node.keys is None:
+                stack.append(node.left)
+                stack.append(node.right)
+        assert rf._meta_info[meta.root.nid][3] == (not crosses)
+
+
+def test_fpr_validation():
+    rng = np.random.default_rng(7)
+    tree = make_tree(rng.random((200, 2)))
+    for bad in (0.0, -0.1, 0.5, 1.0):
+        with pytest.raises(ValueError):
+            RouteFilterSet(tree, fpr=bad)
+
+
+# ----------------------------------------------------------------------
+# byte-identity + monotone savings
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+def test_search_answers_identical_and_words_fewer(exec_mode):
+    rng = np.random.default_rng(11)
+    pts = rng.random((4000, 3))
+    queries = np.vstack([pts[:80], rng.random((80, 3))])
+    t0 = make_tree(pts, exec_mode=exec_mode)
+    t1 = make_tree(pts, exec_mode=exec_mode, fpr=0.01)
+    r0 = t0.search(queries)
+    r1 = t1.search(queries)
+    assert search_presence(r0) == search_presence(r1)
+    assert comm_words(t1) < comm_words(t0)
+    rf = t1.route_filters
+    assert rf.queries_pruned > 0
+    assert rf.words_saved > 0
+    # Every probed absent key is either pruned or a false positive.
+    absent = sum(1 for r, p in zip(r1, search_presence(r1)) if not p)
+    assert rf.queries_pruned + rf.fp_probes <= absent + rf.probes
+
+
+@pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+def test_delete_identical_and_words_fewer(exec_mode):
+    rng = np.random.default_rng(13)
+    pts = rng.random((4000, 3))
+    delq = np.vstack([pts[200:260], rng.random((60, 3))])
+    t0 = make_tree(pts, exec_mode=exec_mode)
+    t1 = make_tree(pts, exec_mode=exec_mode, fpr=0.01)
+    assert t0.delete(delq) == t1.delete(delq) == 60
+    assert comm_words(t1) < comm_words(t0)
+    a0, a1 = t0.all_points(), t1.all_points()
+    order = np.lexsort(a0.T[::-1])
+    assert np.array_equal(a0[order], a1[np.lexsort(a1.T[::-1])])
+
+
+@pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+def test_knn_identical_and_words_never_more(exec_mode):
+    rng = np.random.default_rng(17)
+    pts = rng.random((4000, 3))
+    qs = rng.random((40, 3))
+    t0 = make_tree(pts, exec_mode=exec_mode)
+    t1 = make_tree(pts, exec_mode=exec_mode, fpr=0.01)
+    for (d0, p0), (d1, p1) in zip(t0.knn(qs, 5), t1.knn(qs, 5)):
+        assert np.array_equal(d0, d1)
+        assert np.array_equal(p0, p1)
+    assert comm_words(t1) <= comm_words(t0)
+
+
+def test_insert_phase_never_pruned_and_filters_maintained():
+    rng = np.random.default_rng(19)
+    pts = rng.random((2000, 3))
+    t0 = make_tree(pts)
+    t1 = make_tree(pts, fpr=0.01)
+    fresh = rng.random((150, 3))
+    t0.insert(fresh)
+    t1.insert(fresh)
+    order = np.lexsort(t0.all_points().T[::-1])
+    assert np.array_equal(t0.all_points()[order],
+                          t1.all_points()[np.lexsort(t1.all_points().T[::-1])])
+    # The maintained filters immediately cover the fresh keys: lookups of
+    # just-inserted points are never pruned.
+    res = t1.search(fresh)
+    assert all(search_presence(res))
+    assert all(not r.pruned for r in res)
+    assert t1.route_filters.rebuilds >= 2  # attach + insert maintenance
+
+
+def test_disabled_filters_change_nothing():
+    rng = np.random.default_rng(23)
+    pts = rng.random((1500, 3))
+    queries = rng.random((60, 3))
+    t0 = make_tree(pts)
+    t1 = make_tree(pts)
+    RouteFilterSet(t1, fpr=0.01, enabled=False)
+    snap0 = t0.system.stats.to_dict()
+    snap1 = t1.system.stats.to_dict()
+    t0.search(queries)
+    t1.search(queries)
+    d0 = comm_words(t0) - snap0["total"]["comm_words"]
+    d1 = comm_words(t1) - snap1["total"]["comm_words"]
+    assert d0 == d1
+    assert t1.route_filters.queries_pruned == 0
+    assert t1.route_filters.probes == 0
+
+
+def test_maintenance_is_charged_under_route_phase():
+    rng = np.random.default_rng(29)
+    tree = make_tree(rng.random((1000, 3)))
+    before = tree.system.stats.to_dict()["total"]
+    RouteFilterSet(tree, fpr=0.01)
+    after = tree.system.stats.to_dict()
+    assert after["total"]["cpu_ops"] > before["cpu_ops"]
+    assert after["total"]["dram_words"] > before["dram_words"]
+    assert "route" in after["phases"]
+    # Filter maintenance never touches the interconnect.
+    assert after["phases"]["route"]["comm_words"] == 0
+
+
+def test_summary_counters():
+    rng = np.random.default_rng(31)
+    pts = rng.random((2000, 3))
+    tree = make_tree(pts, fpr=0.05)
+    tree.search(rng.random((50, 3)))
+    s = tree.route_filters.summary()
+    assert s["enabled"] is True
+    assert s["fpr"] == 0.05
+    assert s["queries_pruned"] >= 1
+    assert s["words_saved"] >= 2 * s["queries_pruned"]
+    assert s["probes"] >= s["queries_pruned"]
+    assert s["rebuilds"] == 1
+    assert s["keys_indexed"] >= len(pts)
+    assert s["filter_kib"] > 0
+
+
+@pytest.mark.parametrize("exec_mode", ["reference", "vectorized"])
+def test_replicated_l0_gate(exec_mode):
+    """With L0 replicated on the modules (tiny LLC), even the routing
+    round is a send — the global filter must gate it, keep answers
+    identical, and shave the round participation of absent keys."""
+    rng = np.random.default_rng(43)
+    pts = rng.random((4000, 3))
+    queries = np.vstack([pts[:80], rng.random((80, 3))])
+
+    def mk(fpr):
+        cfg = skew_resistant(N_MODULES).with_overrides(exec_mode=exec_mode)
+        tree = PIMZdTree(pts, config=cfg,
+                         system=PIMSystem(N_MODULES, llc_bytes=4096, seed=0),
+                         bounds=(np.zeros(3), np.ones(3)))
+        if fpr is not None:
+            RouteFilterSet(tree, fpr=fpr)
+        return tree
+
+    t0, t1 = mk(None), mk(0.01)
+    assert not t0.l0_on_cpu and not t1.l0_on_cpu
+    base0, base1 = comm_words(t0), comm_words(t1)
+    r0 = t0.search(queries)
+    r1 = t1.search(queries)
+    assert search_presence(r0) == search_presence(r1)
+    spent0 = comm_words(t0) - base0
+    spent1 = comm_words(t1) - base1
+    rf = t1.route_filters
+    assert rf.queries_pruned > 0
+    # Every pruned query skips its L0-round send (2) + trace return (3).
+    assert spent0 - spent1 >= 5 * rf.queries_pruned
+    assert t0.delete(queries[:40]) == t1.delete(queries[:40]) == 40
+
+
+# ----------------------------------------------------------------------
+# persistence: manifest round-trip + crash-restart rebuild
+# ----------------------------------------------------------------------
+def test_manifest_roundtrip_and_crash_restart_rebuilds_bits():
+    rng = np.random.default_rng(37)
+    pts = rng.random((1200, 3))
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = PIMZdTree(pts, system=PIMSystem(4, seed=3))
+        RouteFilterSet(tree, fpr=0.02, seed=9)
+        store = DurableStore(open_backend("file", Path(tmp) / "s"))
+        store.attach(tree)
+        tree.insert(rng.random((40, 3)))
+        res = recover(store.backend, cost_model=tree.cost_model)
+        store.backend.close()
+
+    rf0, rf1 = tree.route_filters, res.tree.route_filters
+    assert rf1 is not None
+    assert (rf1.fpr, rf1.seed, rf1.enabled) == (0.02, 9, True)
+    assert np.array_equal(rf0._global.words, rf1._global.words)
+    assert sorted(rf0._filters) == sorted(rf1._filters)
+    for mid in rf0._filters:
+        assert np.array_equal(rf0._filters[mid].words,
+                              rf1._filters[mid].words), mid
+    assert rf0._meta_info == rf1._meta_info
+    # Recovery charges (incl. the filter rebuild) all land in "recovery".
+    assert sorted(res.system.stats.phases) == ["recovery"]
+
+
+def test_manifest_absent_without_filters():
+    from repro.store import encode_tree
+
+    rng = np.random.default_rng(41)
+    tree = PIMZdTree(rng.random((300, 3)), system=PIMSystem(4, seed=3))
+    img = encode_tree(tree, wal_seq=0)
+    assert "route_filters" not in img.manifest
+    RouteFilterSet(tree, fpr=DEFAULT_FPR)
+    img2 = encode_tree(tree, wal_seq=0)
+    assert img2.manifest["route_filters"] == {
+        "fpr": DEFAULT_FPR, "seed": 0, "enabled": True}
