@@ -13,6 +13,10 @@ Examples::
     python -m repro.cli store demo --kill-round 30 --path /tmp/zd-store
     python -m repro.cli store inspect --path /tmp/zd-store
     python -m repro.cli store recover --path /tmp/zd-store
+    python -m repro.cli tune search --workload varden --out varden.json
+    python -m repro.cli tune report --profile varden.json
+    python -m repro.cli tune apply --profile varden.json --dataset varden
+    python -m repro.cli serve --profile varden.json --adapt
 
 ``all`` runs every experiment and (with ``--out``) writes one markdown
 report plus a JSON dump of the raw rows.  ``trace`` runs a workload with
@@ -32,7 +36,18 @@ durable tier: ``demo`` serves with checkpoint + WAL attached (optionally
 killing the whole machine mid-run and restarting from disk, charged
 under the ``"recovery"`` phase), ``inspect`` prints an on-disk store's
 manifest and WAL record table, and ``recover`` rebuilds the index from
-disk and reports the charged restart cost.
+disk and reports the charged restart cost.  ``tune`` drives the
+self-tuning subsystem (``repro.tune``): ``search`` runs the offline
+strategy-tree policy search over the serving config space and emits a
+tuned profile, ``report`` prints a profile's headline numbers, and
+``apply`` serves with the profile's knobs applied.  ``serve``, ``faults``
+and ``sweep`` all ingest their knobs through one path
+(:meth:`repro.tune.ConfigSpace.from_args`): defaults < ``--profile`` <
+explicit flags, where contradicting sources — or a refinement flag like
+``--rebalance-ratio`` without its ``--rebalance`` gate — are loud errors
+rather than silent no-ops.  ``--adapt`` (serve/faults) additionally runs
+the online controller, which nudges a whitelisted knob subset at phase
+boundaries between batches.
 """
 
 from __future__ import annotations
@@ -101,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "continuous batching, latency stats",
     )
     _add_serve_args(p_sv)
+    _add_adapt_args(p_sv)
 
     p_ft = sub.add_parser(
         "faults",
@@ -108,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "storms, message drops; retry/failover/degraded-mode stats",
     )
     _add_serve_args(p_ft, index_choices=["pim", "pim-skew"])
+    _add_adapt_args(p_ft)
     p_ft.add_argument("--fault-seed", type=int, default=None,
                       help="fault-plan RNG seed (default: master seed)")
     p_ft.add_argument("--crash", action="append", default=None,
@@ -179,6 +196,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bl.add_argument("--out", type=Path, default=None,
                       help="path for the JSON comparison report")
 
+    p_tn = sub.add_parser(
+        "tune",
+        help="self-tuning: offline strategy-tree search over the serving "
+             "config space (search), tuned serve run (apply), or profile "
+             "inspection (report)",
+    )
+    p_tn.add_argument("action", choices=["search", "apply", "report"],
+                      help="search: emit a tuned profile for --workload; "
+                           "apply: serve with --profile applied; "
+                           "report: print a profile's headline numbers")
+    _add_serve_args(p_tn)
+    _add_adapt_args(p_tn)
+    p_tn.add_argument("--workload", default="varden",
+                      choices=["diurnal", "uniform", "varden"],
+                      help="workload class to tune for (search)")
+    p_tn.add_argument("--generations", type=int, default=2,
+                      help="strategy-tree refinement depth (search)")
+    p_tn.add_argument("--beam", type=int, default=4,
+                      help="surviving Pareto nodes expanded per generation "
+                           "(search)")
+    p_tn.add_argument("--procs", type=int, default=1,
+                      help="worker processes for candidate evaluation "
+                           "(search; the result is procs-independent)")
+    p_tn.add_argument("--knobs", default=None,
+                      help="comma-separated knob subset to refine (search; "
+                           "default: the serving-visible set)")
+    p_tn.set_defaults(requests=240, load=1.0)
+
     p_st = sub.add_parser(
         "store",
         help="durable storage tier: checkpointed serving with an optional "
@@ -247,21 +292,40 @@ def _add_serve_args(p: argparse.ArgumentParser,
                    help="backpressure policy when the queue is full")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request relative deadline (simulated ms)")
-    p.add_argument("--policy", default="adaptive",
-                   choices=["adaptive", "fixed"], help="batch-size policy")
-    p.add_argument("--fixed-batch", type=int, default=64,
-                   help="batch size for --policy fixed")
+    p.add_argument("--policy", default=None,
+                   choices=["adaptive", "fixed"],
+                   help="batch-size policy (default adaptive, unless a "
+                        "--profile says otherwise)")
+    p.add_argument("--overhead-target", type=float, default=None,
+                   help="adaptive policy: fixed-overhead share of batch "
+                        "service time (default 0.1)")
+    p.add_argument("--fixed-batch", type=int, default=None,
+                   help="batch size for --policy fixed (default 64)")
     p.add_argument("--out", type=Path, default=None,
                    help="path for the latency-stats JSON document")
     p.add_argument("--csv", type=Path, default=None,
                    help="path for the flat metric,value CSV")
+    p.add_argument("--profile", type=Path, default=None,
+                   help="tuned-profile JSON (a 'tune search' artifact); "
+                        "explicit flags that contradict it are an error")
     p.add_argument("--rebalance", action="store_true",
                    help="step the online rebalancer between batches "
                         "(pim index adapters only)")
-    p.add_argument("--rebalance-ratio", type=float, default=1.5,
-                   help="max/mean EWMA heat ratio that trips migration")
-    p.add_argument("--rebalance-budget", type=float, default=0.05,
-                   help="rebalance time budget as a fraction of service time")
+    p.add_argument("--rebalance-ratio", type=float, default=None,
+                   help="max/mean EWMA heat ratio that trips migration "
+                        "(default 1.5; requires --rebalance)")
+    p.add_argument("--rebalance-gini", type=float, default=None,
+                   help="EWMA heat Gini that trips migration "
+                        "(default 0.35; requires --rebalance)")
+    p.add_argument("--rebalance-budget-words", type=float, default=None,
+                   help="word budget per migration invocation "
+                        "(default 65536; requires --rebalance)")
+    p.add_argument("--rebalance-budget", type=float, default=None,
+                   help="rebalance time budget as a fraction of service "
+                        "time (default 0.05; requires --rebalance)")
+    p.add_argument("--pull-factor", type=float, default=None,
+                   help="push-pull trigger: load-imbalance factor that "
+                        "flips a round from push to pull (default 3.0)")
     p.add_argument("--sim-mode", default=None, choices=["vector", "scalar"],
                    help="simulator round-accounting core: the array-backed "
                         "vector core (default) or the per-module scalar "
@@ -275,9 +339,10 @@ def _add_serve_args(p: argparse.ArgumentParser,
                    help="K-way chunk replication (total copies incl. the "
                         "primary); installs replicas before serving and "
                         "routes reads to the least-loaded copy")
-    p.add_argument("--write-policy", default="write-all",
+    p.add_argument("--write-policy", default=None,
                    choices=["write-all", "primary-async"],
-                   help="replica write policy (with --replicate)")
+                   help="replica write policy (default write-all; "
+                        "requires --replicate >= 2)")
     p.add_argument("--staleness-ms", type=float, default=1.0,
                    help="staleness bound for --write-policy primary-async "
                         "(simulated ms)")
@@ -288,6 +353,16 @@ def _add_serve_args(p: argparse.ArgumentParser,
     p.add_argument("--route-fpr", type=float, default=None, metavar="FPR",
                    help="Bloom false-positive rate target for "
                         "--route-filter (default 0.01)")
+
+
+def _add_adapt_args(p: argparse.ArgumentParser) -> None:
+    """The online-controller flags (serve/faults/tune apply)."""
+    p.add_argument("--adapt", action="store_true",
+                   help="run the online tuning controller: adapts a "
+                        "whitelisted knob subset at phase boundaries "
+                        "between batches, never mid-round")
+    p.add_argument("--adapt-window", type=int, default=32,
+                   help="batches per controller phase")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -418,72 +493,97 @@ def _parse_tenants(spec: str | None):
     return tenants
 
 
-def _make_replication(args: argparse.Namespace, adapter):
-    """Attach a charged K-way ReplicaSet for ``--replicate K``.
+def _resolve_tune_config(args: argparse.Namespace):
+    """Resolve the knob space from defaults, ``--profile`` and flags.
 
-    Returns ``None`` (flag unset), a summary dict, or the sentinel ``2``
-    on a usage error.
+    The single ingestion path (:meth:`ConfigSpace.from_args`) shared by
+    serve/faults/sweep/tune: conflicting sources, and refinement flags
+    whose gate mechanism is off, raise rather than being silently
+    dropped.  Returns a :class:`repro.tune.Resolution` or the sentinel
+    ``2`` (the CLI usage-error exit code).
     """
-    k = getattr(args, "replicate", None)
-    if k is None:
-        return None
-    if not hasattr(adapter, "tree"):
-        print(f"error: --replicate requires a pim index adapter "
-              f"(got {args.index!r})")
-        return 2
-    if k < 1:
-        print("error: --replicate must be >= 1")
-        return 2
-    from .replicate import ReplicaSet, ReplicationConfig
+    from .tune import KnobConflict, default_space, load_profile
 
-    cfg = ReplicationConfig(k=int(k), write_policy=args.write_policy,
-                            staleness_bound_s=args.staleness_ms * 1e-3)
-    return ReplicaSet(adapter.tree, cfg).replicate_all()
-
-
-def _make_route_filters(args: argparse.Namespace, adapter):
-    """Attach membership-filter routing for ``--route-filter``.
-
-    Returns ``None`` (flag unset), a summary dict, or the sentinel ``2``
-    on a usage error.  The filter build is charged (``route`` phase).
-    """
-    if not getattr(args, "route_filter", False):
-        if getattr(args, "route_fpr", None) is not None:
-            print("error: --route-fpr requires --route-filter")
+    space = default_space()
+    profile = None
+    path = getattr(args, "profile", None)
+    if path is not None:
+        try:
+            profile = load_profile(json.loads(Path(path).read_text()),
+                                   space=space)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: cannot load profile {path}: {e}")
             return 2
-        return None
-    if not hasattr(adapter, "tree"):
-        print(f"error: --route-filter requires a pim index adapter "
-              f"(got {args.index!r})")
-        return 2
-    from .route import DEFAULT_FPR, RouteFilterSet
-
-    fpr = args.route_fpr if args.route_fpr is not None else DEFAULT_FPR
     try:
-        rf = RouteFilterSet(adapter.tree, fpr=fpr)
+        return space.from_args(args, profile=profile)
+    except (KnobConflict, ValueError) as e:
+        print(f"error: {e}")
+        return 2
+
+
+def _report_tuned(res) -> None:
+    """Print the non-default knobs of a resolved configuration."""
+    tuned = res.non_default()
+    if tuned:
+        print("tuned knobs: " + ", ".join(
+            f"{k}={v} [{res.sources[k]}]" for k, v in sorted(tuned.items())))
+
+
+def _apply_tune_config(args: argparse.Namespace, adapter, config: dict):
+    """Attach the config's serving mechanisms to ``adapter``.
+
+    Returns the parts dict from
+    :func:`repro.tune.apply_serving_config` (``{"policy", "rebalancer",
+    "replication", "filters"}``) or the sentinel ``2`` on a usage error
+    (a tree-level mechanism requested on a treeless baseline adapter).
+    """
+    from .tune import apply_serving_config
+
+    try:
+        parts = apply_serving_config(
+            adapter, config,
+            staleness_s=getattr(args, "staleness_ms", 1.0) * 1e-3)
+    except ValueError as e:
+        print(f"error: {e} (got --index {args.index!r})")
+        return 2
+    rep, flt = parts["replication"], parts["filters"]
+    if rep is not None:
+        print(f"replication: installed {rep['installed']} secondary "
+              f"copies ({rep['words']:,.0f} words)")
+    if flt is not None:
+        print(f"route filters: fpr={flt['fpr']:g}, "
+              f"{flt['keys_indexed']} keys indexed, "
+              f"{flt['filter_kib']:.1f} KiB resident")
+    return parts
+
+
+def _make_controller(args: argparse.Namespace):
+    """Build the online tuning controller for ``--adapt`` (or None).
+
+    Returns the sentinel ``2`` on a bad ``--adapt-window``.
+    """
+    if not getattr(args, "adapt", False):
+        return None
+    from .tune import OnlineController
+
+    try:
+        return OnlineController(window=getattr(args, "adapt_window", 32))
     except ValueError as e:
         print(f"error: {e}")
         return 2
-    return rf.summary()
 
 
-def _make_rebalancer(args: argparse.Namespace, adapter):
-    """Build the online rebalancer for ``--rebalance`` (or return None).
-
-    Returns the sentinel ``2`` (the CLI usage-error exit code) when the
-    flag is set on an adapter without a PIM tree to rebalance.
-    """
-    if not getattr(args, "rebalance", False):
-        return None
-    if not hasattr(adapter, "tree"):
-        print(f"error: --rebalance requires a pim index adapter "
-              f"(got {args.index!r})")
-        return 2
-    from .balance import BalanceConfig, OnlineRebalancer
-
-    cfg = BalanceConfig(ratio_threshold=args.rebalance_ratio,
-                        budget_fraction=args.rebalance_budget)
-    return OnlineRebalancer(adapter.tree, cfg)
+def _report_controller(controller) -> None:
+    """Print the online controller's adaptation history."""
+    if controller is None:
+        return
+    aud = controller.audit()
+    print(f"\ncontroller: {aud['changes']} change(s) over "
+          f"{aud['phases']} phase(s) "
+          f"(whitelist: {', '.join(aud['whitelist'])})")
+    for h in aud["history"]:
+        print(f"  phase {h['phase']}: {h['knob']} {h['old']:g} -> "
+              f"{h['new']:g} ({h['why']})")
 
 
 def _report_rebalance(loop, rebalancer, adapter) -> None:
@@ -512,13 +612,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     from .eval.harness import make_adapter
     from .obs import write_latency
     from .serve import (
-        AdaptiveBatchPolicy,
         AdmissionQueue,
-        FixedBatchPolicy,
         ServeLoop,
         calibrate_capacity,
         make_requests,
     )
+    from .tune import make_index_config
     from .workloads import bursty_arrivals, diurnal_arrivals, poisson_arrivals
 
     n = args.n or 20_000
@@ -535,6 +634,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
     if args.requests < 1:
         print("error: --requests must be >= 1")
+        return 2
+    res = _resolve_tune_config(args)
+    if res == 2:
+        return 2
+    config = res.config
+    controller = _make_controller(args)
+    if controller == 2:
         return 2
 
     data = _dataset(args.dataset, n, seed)
@@ -567,39 +673,33 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"error: {e}")
         return 2
 
+    idx_cfg = make_index_config(config, kind=args.index, n_points=len(data),
+                                n_modules=n_modules)
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
-                           sim_mode=args.sim_mode)
-    replication = _make_replication(args, adapter)
-    if replication == 2:
+                           sim_mode=args.sim_mode, config=idx_cfg)
+    _report_tuned(res)
+    parts = _apply_tune_config(args, adapter, config)
+    if parts == 2:
         return 2
-    if replication is not None:
-        print(f"replication: installed {replication['installed']} secondary "
-              f"copies ({replication['words']:,.0f} words)")
-    filters = _make_route_filters(args, adapter)
-    if filters == 2:
-        return 2
-    if filters is not None:
-        print(f"route filters: fpr={filters['fpr']:g}, "
-              f"{filters['keys_indexed']} keys indexed, "
-              f"{filters['filter_kib']:.1f} KiB resident")
-    rebalancer = _make_rebalancer(args, adapter)
-    if rebalancer == 2:
-        return 2
-    policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
-              else AdaptiveBatchPolicy())
+    rebalancer = parts["rebalancer"]
     loop = ServeLoop(adapter,
                      AdmissionQueue(args.queue_depth, overflow=args.overflow,
                                     tenants=tenants),
-                     policy, rebalancer=rebalancer)
+                     parts["policy"], rebalancer=rebalancer,
+                     controller=controller)
     result = loop.run(requests)
 
     print(f"=== serve — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
-          f"{args.arrival} arrivals, {args.policy} batching ===")
+          f"{args.arrival} arrivals, {config['batch.policy']} batching ===")
     print(result.stats.table())
     _report_rebalance(loop, rebalancer, adapter)
+    _report_controller(controller)
     if args.out is not None or args.csv is not None:
+        tune_doc = None
+        if res.non_default() or (controller is not None and controller.active):
+            tune_doc = {"knobs": res.config, "sources": res.sources}
         write_latency(result.stats, json_path=args.out, csv_path=args.csv,
-                      batches=result.batches)
+                      batches=result.batches, config=tune_doc)
         for path in (args.out, args.csv):
             if path is not None:
                 print(f"wrote {path}")
@@ -629,21 +729,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.requests < 1:
         print("error: --requests must be >= 1")
         return 2
-    if args.rebalance:
-        print("error: --rebalance is not supported by sweep "
-              "(shards are independent replicas)")
+    res = _resolve_tune_config(args)
+    if res == 2:
         return 2
-    if args.replicate is not None:
-        print("error: --replicate is not supported by sweep "
-              "(shards are independent replicas)")
-        return 2
-    if args.route_filter:
-        print("error: --route-filter is not supported by sweep "
-              "(shards build their own adapters)")
-        return 2
+    config = res.config
     tenants = _parse_tenants(args.tenants)
     if tenants == 2:
         return 2
+    _report_tuned(res)
 
     rate = args.rate
     if rate is None:
@@ -664,12 +757,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         deadline_s=(args.deadline_ms * 1e-3 if args.deadline_ms is not None
                     else math.inf),
         queue_depth=args.queue_depth, overflow=args.overflow,
-        policy=args.policy, fixed_batch=args.fixed_batch,
+        policy=config["batch.policy"], fixed_batch=int(config["batch.fixed"]),
         sim_mode=args.sim_mode, arrival=args.arrival, tenants=tenants,
+        tune_config=config if res.non_default() else None,
     )
 
     print(f"=== sweep — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
-          f"{args.arrival} arrivals, {args.policy} batching ===")
+          f"{args.arrival} arrivals, {config['batch.policy']} batching ===")
     print(result.table())
     if args.out is not None:
         args.out.write_text(json.dumps(result.to_dict(), indent=2))
@@ -700,13 +794,12 @@ def _run_faults(args: argparse.Namespace) -> int:
     from .faults import FaultPlan
     from .obs import TraceCollector, write_latency
     from .serve import (
-        AdaptiveBatchPolicy,
         AdmissionQueue,
-        FixedBatchPolicy,
         ServeLoop,
         calibrate_capacity,
         make_requests,
     )
+    from .tune import make_index_config
     from .workloads import bursty_arrivals, diurnal_arrivals, poisson_arrivals
 
     n = args.n or 20_000
@@ -746,6 +839,13 @@ def _run_faults(args: argparse.Namespace) -> int:
     if any(mid >= n_modules or mid < 0 for mid in (*crash_at, *slow)):
         print(f"error: module ids must be in [0, {n_modules})")
         return 2
+    res = _resolve_tune_config(args)
+    if res == 2:
+        return 2
+    config = res.config
+    controller = _make_controller(args)
+    if controller == 2:
+        return 2
 
     data = _dataset(args.dataset, n, seed)
 
@@ -777,42 +877,33 @@ def _run_faults(args: argparse.Namespace) -> int:
         return 2
 
     tracer = TraceCollector()
+    idx_cfg = make_index_config(config, kind=args.index, n_points=len(data),
+                                n_modules=n_modules)
     adapter = make_adapter(args.index, data, n_modules=n_modules, seed=seed,
                            fault_plan=plan, tracer=tracer,
-                           sim_mode=args.sim_mode)
-    replication = _make_replication(args, adapter)
-    if replication == 2:
+                           sim_mode=args.sim_mode, config=idx_cfg)
+    _report_tuned(res)
+    parts = _apply_tune_config(args, adapter, config)
+    if parts == 2:
         return 2
-    if replication is not None:
-        print(f"replication: installed {replication['installed']} secondary "
-              f"copies ({replication['words']:,.0f} words)")
-    filters = _make_route_filters(args, adapter)
-    if filters == 2:
-        return 2
-    if filters is not None:
-        print(f"route filters: fpr={filters['fpr']:g}, "
-              f"{filters['keys_indexed']} keys indexed, "
-              f"{filters['filter_kib']:.1f} KiB resident")
-    rebalancer = _make_rebalancer(args, adapter)
-    if rebalancer == 2:
-        return 2
-    policy = (FixedBatchPolicy(args.fixed_batch) if args.policy == "fixed"
-              else AdaptiveBatchPolicy())
+    rebalancer = parts["rebalancer"]
     loop = ServeLoop(
         adapter, AdmissionQueue(args.queue_depth, overflow=args.overflow,
                                 tenants=tenants),
-        policy, max_retries=args.retries, backoff_s=args.backoff_ms * 1e-3,
+        parts["policy"], max_retries=args.retries,
+        backoff_s=args.backoff_ms * 1e-3,
         timeout_s=(args.timeout_ms * 1e-3 if args.timeout_ms is not None
                    else None),
         degraded_mode=not args.no_degraded, failover=not args.no_failover,
-        rebalancer=rebalancer,
+        rebalancer=rebalancer, controller=controller,
     )
     result = loop.run(requests)
 
     print(f"=== faults — {args.dataset}, {args.index}, n={n}, P={n_modules}, "
-          f"{args.arrival} arrivals, {args.policy} batching ===")
+          f"{args.arrival} arrivals, {config['batch.policy']} batching ===")
     print(result.stats.table())
     _report_rebalance(loop, rebalancer, adapter)
+    _report_controller(controller)
 
     summary = plan.summary()
     dead = sorted(adapter.system.dead_modules)
@@ -838,12 +929,101 @@ def _run_faults(args: argparse.Namespace) -> int:
           else f"RECONCILIATION FAILED: {problems}")
 
     if args.out is not None or args.csv is not None:
+        tune_doc = None
+        if res.non_default() or (controller is not None and controller.active):
+            tune_doc = {"knobs": res.config, "sources": res.sources}
         write_latency(result.stats, json_path=args.out, csv_path=args.csv,
-                      batches=result.batches, faults=plan.events)
+                      batches=result.batches, faults=plan.events,
+                      config=tune_doc)
         for path in (args.out, args.csv):
             if path is not None:
                 print(f"wrote {path}")
     return 1 if problems else 0
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    """The ``tune`` subcommand: offline search / tuned serve / report."""
+    if args.action == "apply":
+        if args.profile is None:
+            print("error: tune apply requires --profile")
+            return 2
+        return _run_serve(args)
+
+    if args.action == "report":
+        if args.profile is None:
+            print("error: tune report requires --profile")
+            return 2
+        from .tune import default_space, load_profile
+
+        try:
+            doc = json.loads(args.profile.read_text())
+            load_profile(doc, space=default_space())
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: cannot load profile {args.profile}: {e}")
+            return 2
+        params = doc.get("params", {})
+        print(f"=== tuned profile — workload {doc['workload']}, "
+              f"seed {doc['seed']} ===")
+        print(f"search: {doc.get('evaluated', '?')} configs evaluated, "
+              f"{len(doc.get('pareto_front', []))} on the Pareto front "
+              f"(n={params.get('n')}, P={params.get('n_modules')}, "
+              f"requests={params.get('requests')})")
+        tuned = doc.get("tuned", {})
+        print("tuned knobs: " + (", ".join(
+            f"{k}={v}" for k, v in sorted(tuned.items())) or "(defaults)"))
+        base, best = doc.get("baseline", {}), doc.get("objectives", {})
+        imp = doc.get("improvement", {})
+
+        def x(v):
+            return f"{v:.2f}x" if isinstance(v, (int, float)) else "n/a"
+
+        print(f"goodput: {base.get('goodput', 0.0):,.1f} -> "
+              f"{best.get('goodput', 0.0):,.1f} req/s "
+              f"({x(imp.get('goodput'))})")
+        print(f"p99:     {base.get('p99_s', 0.0) * 1e3:.3f}ms -> "
+              f"{best.get('p99_s', 0.0) * 1e3:.3f}ms ({x(imp.get('p99'))})")
+        print(f"comm:    {base.get('comm_words', 0.0):,.0f} -> "
+              f"{best.get('comm_words', 0.0):,.0f} words "
+              f"({x(imp.get('comm_words'))})")
+        return 0
+
+    # ------------------------------------------------------------ search
+    from .tune import profile_json, search
+
+    res = _resolve_tune_config(args)
+    if res == 2:
+        return 2
+    if res.non_default():
+        print("error: tune search explores from the shipped defaults; "
+              "knob flags and --profile belong to 'tune apply' "
+              f"(got: {', '.join(sorted(res.non_default()))})")
+        return 2
+    knobs = None
+    if args.knobs:
+        knobs = tuple(k.strip() for k in args.knobs.split(",") if k.strip())
+    seed = args.seed if args.seed is not None else 7
+    try:
+        result = search(
+            args.workload, seed=seed, n=args.n or 4000,
+            n_modules=args.n_modules or 8, requests=args.requests,
+            rate=args.rate, load=args.load, k=args.k,
+            deadline_ms=args.deadline_ms, generations=args.generations,
+            beam=args.beam, procs=args.procs, knobs=knobs,
+            queue_depth=args.queue_depth)
+    except (ValueError, RuntimeError) as e:
+        print(f"error: {e}")
+        return 2
+    print(f"=== tune search — {args.workload}, seed {seed}, "
+          f"generations={args.generations}, beam={args.beam} ===")
+    print(result.table())
+    failed = sum(1 for nd in result.nodes.values() if nd.error)
+    if failed:
+        print(f"note: {failed} candidate evaluation(s) failed and were "
+              "pruned")
+    if args.out is not None:
+        args.out.write_text(profile_json(result))
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _run_balance(args: argparse.Namespace) -> int:
@@ -1173,6 +1353,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "tune":
+        return _run_tune(args)
 
     if args.command == "balance":
         return _run_balance(args)

@@ -152,6 +152,14 @@ def insert_batch(tree, points: np.ndarray) -> None:
 
         tree.rechunk_stale()
     invalidate_exec_caches(tree)
+    # Insert-only residency change: stage the new keys so the route
+    # filters' rebuild (inside refresh_residency) can take the cheap
+    # in-place path.  A faulted batch never reaches here — its rollback
+    # goes through the delete path, which does not stage.
+    rf = getattr(tree, "route_filters", None)
+    if rf is not None:
+        rf.stage_inserts(
+            np.array([res.key for res in results], dtype=np.uint64))
     tree.refresh_residency()
     if wal_seq is not None:
         journal.commit(wal_seq)

@@ -139,7 +139,7 @@ def sanitize_json(value):
 
 
 def latency_json(stats, *, batches=None, faults=None,
-                 store_events=None, restarts=None) -> dict:
+                 store_events=None, restarts=None, config=None) -> dict:
     """JSON document for a serve run's :class:`~repro.serve.LatencyStats`.
 
     ``batches`` (the run's :class:`~repro.serve.BatchRecord` list) and
@@ -148,11 +148,15 @@ def latency_json(stats, *, batches=None, faults=None,
     fault schedule can be analysed offline.  ``store_events`` (a
     :class:`repro.store.DurableStore`'s checkpoint/recover log) and
     ``restarts`` (the serve loop's machine-restart records) are embedded
-    the same way for durability runs; all four keys are omitted entirely
-    when not given, so pre-existing documents are byte-unchanged.
+    the same way for durability runs, and ``config`` (the tuning audit
+    block: resolved knobs, batch-policy snapshot, online-controller
+    history) for tuned runs; all five keys are omitted entirely when not
+    given, so pre-existing documents are byte-unchanged.
     Non-finite floats are serialised as ``null`` (strict JSON).
     """
     doc: dict = {"format": "repro.obs/serve-1", "stats": stats.to_dict()}
+    if config is not None:
+        doc["config"] = dict(config)
     if batches is not None:
         doc["batches"] = [b.to_dict() for b in batches]
     if faults is not None:
@@ -185,10 +189,12 @@ def latency_csv(stats) -> str:
 
 
 def write_latency(stats, json_path=None, csv_path=None, *, batches=None,
-                  faults=None, store_events=None, restarts=None) -> dict:
+                  faults=None, store_events=None, restarts=None,
+                  config=None) -> dict:
     """Write the serve-latency JSON and/or CSV; returns the JSON document."""
     doc = latency_json(stats, batches=batches, faults=faults,
-                       store_events=store_events, restarts=restarts)
+                       store_events=store_events, restarts=restarts,
+                       config=config)
     if json_path is not None:
         Path(json_path).write_text(
             json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)

@@ -26,13 +26,19 @@ Maintenance is charged honestly.  Filters rebuild from residency inside
 ``tree.refresh_residency()``, which every path that moves keys already
 calls under its charged phase (bulk upload, insert/delete batches,
 rebalance migrate/clone, replica install/promotion, failover rebuild,
-recovery replay).  Each rebuild charges ``k`` hash ops per indexed key
+recovery replay).  A full rebuild charges ``k`` hash ops per indexed key
 plus a DRAM stream of the filter words under a ``"route"`` phase (the
-pinned ``"recovery"`` phase keeps recovery attribution).  Probes charge
-a few host ops each.  Crash-restart persists only ``(fpr, seed,
-enabled)`` in the snapshot manifest — the bit arrays are a pure function
-of residency and seed, so :func:`repro.store.recovery.recover` rebuilds
-them bit-identically.
+pinned ``"recovery"`` phase keeps recovery attribution).  **Insert-only
+batches are cheaper**: the insert path stages its new keys
+(:meth:`RouteFilterSet.stage_inserts`), and when the rebuild's residency
+walk proves nothing else moved, the new bits are OR-ed in place —
+bit-identical to the full rebuild, but charged per *new* key only.
+Deletes, migrations and every other structural change fall back to the
+full rebuild automatically (the staged arithmetic stops matching).
+Probes charge a few host ops each.  Crash-restart persists only ``(fpr,
+seed, enabled)`` in the snapshot manifest — the bit arrays are a pure
+function of residency and seed, so :func:`repro.store.recovery.recover`
+rebuilds them bit-identically.
 """
 
 from __future__ import annotations
@@ -109,6 +115,32 @@ class _ModuleFilter:
             self.lo = None
             self.hi = None
 
+    def add(self, keys: np.ndarray, seed: int) -> None:
+        """OR ``keys``' bits in place and widen the range summary.
+
+        Bloom bits are an OR over per-key hashes, so adding the new
+        keys' bits to the existing array is *bit-identical* to a full
+        rebuild over old ∪ new — provided ``m_bits``/``k`` are unchanged
+        (the caller checks :func:`_bloom_params` before choosing this
+        path) and the seed is the same.
+        """
+        if not len(keys):
+            return
+        mask = np.uint64(self.m_bits - 1)
+        h1 = _splitmix_array(keys, seed)
+        h2 = _splitmix_array(keys, seed + 1) | np.uint64(1)
+        with np.errstate(over="ignore"):
+            for i in range(self.k):
+                idx = (h1 + np.uint64(i) * h2) & mask
+                np.bitwise_or.at(
+                    self.words, (idx >> np.uint64(6)).astype(np.int64),
+                    np.uint64(1) << (idx & np.uint64(63)),
+                )
+        klo, khi = int(keys.min()), int(keys.max())
+        self.lo = klo if self.lo is None else min(self.lo, klo)
+        self.hi = khi if self.hi is None else max(self.hi, khi)
+        self.n_keys += len(keys)
+
     def probe(self, key: int, seed: int) -> bool:
         """May ``key`` be present?  No false negatives by construction."""
         if self.lo is None or not self.lo <= key <= self.hi:
@@ -145,17 +177,43 @@ class RouteFilterSet:
         self.fp_probes = 0
         self.probes = 0
         self.rebuilds = 0
+        self.incremental = 0         # rebuilds served by the in-place path
         self.keys_indexed = 0
         self._global: _ModuleFilter | None = None
         self._filters: dict[int, _ModuleFilter] = {}
         # meta.root.nid -> (module, res_lo, res_hi, closed)
         self._meta_info: dict[int, tuple[int, int | None, int | None, bool]] = {}
+        # Incremental-maintenance state: keys staged by an insert-only
+        # batch, per-chunk resident counts and the replica-placement
+        # snapshot as of the last (re)build — the evidence the next
+        # rebuild uses to prove that setting bits in place is safe.
+        self._staged: np.ndarray | None = None
+        self._chunk_counts: dict[int, int] = {}
+        self._reps_snapshot: dict[int, tuple[int, ...]] = {}
         tree.route_filters = self
         self.rebuild()
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def stage_inserts(self, keys) -> None:
+        """Declare that the residency change now in flight only *adds*
+        ``keys`` (an insert batch).  The next :meth:`rebuild` then tries
+        the in-place incremental path: Bloom bits are an OR over per-key
+        hashes, so OR-ing the new keys' bits into the existing arrays is
+        bit-identical to a full rebuild *provided* nothing else moved —
+        which the rebuild verifies against the staged keys before
+        touching a bit (and otherwise falls back to the full, charged
+        rebuild, so stale or wrong staging can never corrupt a filter).
+        Deletes, migrations and rollbacks never stage, so they keep the
+        full-rebuild path.
+        """
+        arr = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+        if not len(arr):
+            return
+        self._staged = (arr.copy() if self._staged is None
+                        else np.concatenate([self._staged, arr]))
+
     def rebuild(self) -> None:
         """Recompute every filter from current residency (charged).
 
@@ -164,7 +222,16 @@ class RouteFilterSet:
         attach time.  Determinism: bits are an OR over per-key hashes,
         so iteration order cannot matter; summaries iterate
         ``tree.metas`` in list order.
+
+        When an insert-only batch staged its keys via
+        :meth:`stage_inserts` and the residency walk proves nothing else
+        changed, the rebuild is served **incrementally**: new bits are
+        OR-ed into the existing arrays (bit-identical, see
+        :meth:`_ModuleFilter.add`) and only the new keys' hashes are
+        charged, instead of re-hashing every resident key.
         """
+        staged = self._staged
+        self._staged = None
         tree = self.tree
         sys = tree.system
         by_module: dict[int, list[np.ndarray]] = {}
@@ -213,13 +280,19 @@ class RouteFilterSet:
         # Replica copies: the keys are resident on the secondary modules
         # too (installed/promoted under their own charged phases).
         reps = getattr(self.tree, "replicas", None)
+        reps_snap: dict[int, tuple[int, ...]] = {}
         if reps is not None:
             for nid, mids in reps._secondaries.items():
+                reps_snap[int(nid)] = tuple(int(m) for m in mids)
                 arr = chunk_keys.get(nid)
                 if arr is None:
                     continue
                 for mid in mids:
                     by_module.setdefault(int(mid), []).append(arr)
+
+        if staged is not None and self._try_incremental(
+                staged, chunk_keys, meta_info, all_keys, reps_snap):
+            return
 
         seed = self.seed
         self._filters = {
@@ -233,6 +306,9 @@ class RouteFilterSet:
                  else np.empty(0, dtype=np.uint64))
         self._global = _ModuleFilter(gkeys, self.fpr, seed)
         self._meta_info = meta_info
+        self._chunk_counts = {nid: len(arr)
+                              for nid, arr in chunk_keys.items()}
+        self._reps_snapshot = reps_snap
         self.rebuilds += 1
         self.keys_indexed = int(sum(f.n_keys for f in self._filters.values())
                                 + self._global.n_keys)
@@ -248,6 +324,103 @@ class RouteFilterSet:
             sys.charge_cpu(k_ops * _REBUILD_OPS_PER_KEY
                            + len(self._meta_info) * _REBUILD_OPS_PER_META)
             sys.dram_stream(bit_words)
+
+    def _try_incremental(self, staged: np.ndarray, chunk_keys: dict,
+                         meta_info: dict, all_keys: list,
+                         reps_snap: dict) -> bool:
+        """Serve a rebuild by OR-ing staged insert keys in place.
+
+        All evidence comes from the *fresh* residency walk, checked
+        against the state recorded by the last build — the staging is a
+        hint, never trusted: (1) the chunk set, each chunk's module and
+        closedness, and the replica placement are unchanged; (2) every
+        chunk's resident count grew by exactly its share of the staged
+        keys, and the global count by exactly ``len(staged)`` (a delete,
+        move, split or re-insert of an existing key breaks the
+        arithmetic and falls back); (3) no Bloom geometry changes —
+        ``_bloom_params`` for the new counts must match every touched
+        filter's existing ``(m_bits, k)``.  Only then are bits OR-ed in
+        (bit-identical to the full rebuild, :meth:`_ModuleFilter.add`)
+        and only the *new* keys' hashes charged.  Returns True when the
+        rebuild was served in place.
+        """
+        g = self._global
+        if g is None or not len(staged):
+            return False
+        old_info = self._meta_info
+        if set(meta_info) != set(old_info):
+            return False
+        for nid, (module, _, _, closed) in meta_info.items():
+            old = old_info[nid]
+            if module != old[0] or closed != old[3]:
+                return False
+        if reps_snap != self._reps_snapshot:
+            return False
+        # Per-chunk arithmetic: new count == old count + staged keys
+        # that landed in the chunk (and no chunk lost its keys).
+        added_per_chunk: dict[int, np.ndarray] = {}
+        for nid, arr in chunk_keys.items():
+            add = arr[np.isin(arr, staged)]
+            if len(arr) != self._chunk_counts.get(nid, 0) + len(add):
+                return False
+            if len(add):
+                added_per_chunk[nid] = add
+        for nid, old_n in self._chunk_counts.items():
+            if old_n and nid not in chunk_keys:
+                return False
+        new_gn = int(sum(len(a) for a in all_keys))
+        if new_gn != g.n_keys + len(staged):
+            return False
+        if _bloom_params(max(1, new_gn), self.fpr) != (g.m_bits, g.k):
+            return False
+        # Per-module additions: each touched chunk feeds its primary
+        # module plus every replica secondary holding a copy.
+        added_per_module: dict[int, list[np.ndarray]] = {}
+        for nid, add in added_per_chunk.items():
+            for mid in (meta_info[nid][0], *reps_snap.get(nid, ())):
+                added_per_module.setdefault(int(mid), []).append(add)
+        per_module: list[tuple[int, np.ndarray]] = []
+        for mid in sorted(added_per_module):
+            parts = added_per_module[mid]
+            f = self._filters.get(mid)
+            if f is None:
+                return False  # module gained its first keys: full build
+            add = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            if _bloom_params(max(1, f.n_keys + len(add)),
+                             self.fpr) != (f.m_bits, f.k):
+                return False
+            per_module.append((mid, add))
+
+        # Every check passed — mutate.  Bits are ORs, so the result is
+        # bit-identical to the full rebuild over the same residency.
+        touched: list[tuple[_ModuleFilter, int]] = []
+        for mid, add in per_module:
+            f = self._filters[mid]
+            f.add(add, self.seed + 2 * (mid + 1))
+            touched.append((f, len(add)))
+        g.add(staged, self.seed)
+        touched.append((g, len(staged)))
+        self._meta_info = meta_info
+        self._chunk_counts = {nid: len(arr)
+                              for nid, arr in chunk_keys.items()}
+        self._reps_snapshot = reps_snap
+        self.rebuilds += 1
+        self.incremental += 1
+        self.keys_indexed = int(
+            sum(f.n_keys for f in self._filters.values()) + g.n_keys)
+
+        # Charge only the delta: k hash ops per *new* (key, copy) pair,
+        # summary bookkeeping for the touched chunks, and a DRAM stream
+        # bounded by the bits actually written (never more than the
+        # filter itself — the full-rebuild stream is the ceiling).
+        k_ops = sum(f.k * cnt for f, cnt in touched)
+        bit_words = sum(min(len(f.words), f.k * cnt) for f, cnt in touched)
+        sys = self.tree.system
+        with sys.phase("route"):
+            sys.charge_cpu(k_ops * _REBUILD_OPS_PER_KEY
+                           + len(added_per_chunk) * _REBUILD_OPS_PER_META)
+            sys.dram_stream(bit_words)
+        return True
 
     # ------------------------------------------------------------------
     # probes (charged per call)
@@ -411,6 +584,7 @@ class RouteFilterSet:
             "fp_probes": self.fp_probes,
             "probes": self.probes,
             "rebuilds": self.rebuilds,
+            "incremental": self.incremental,
             "keys_indexed": self.keys_indexed,
             "filter_kib": round(
                 8 * (len(self._global.words)

@@ -49,6 +49,10 @@ class FixedBatchPolicy:
     def observe(self, group: tuple, size: int, service_s: float) -> None:
         pass
 
+    def snapshot(self) -> dict:
+        """Auditable policy state for the stats config block."""
+        return {"name": self.name, "batch": self.batch}
+
 
 class AdaptiveBatchPolicy:
     """Batch size from the measured round-overhead amortisation curve."""
@@ -104,6 +108,46 @@ class AdaptiveBatchPolicy:
         del obs[: -self.window]
         self._probe[group] = min(max(2 * int(size), self.min_batch),
                                  self.max_batch)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Auditable policy state: the fitted amortisation coefficients
+        ``(a, b)`` and the current target per request group.
+
+        ``target`` is the backlog-independent batch size the policy
+        would pick right now (``B*`` clamped by the observed-range cap
+        and ``max_batch``); ``None`` while a group is still on the
+        doubling-probe bootstrap.  Attached to ``LatencyStats.config``
+        so tuned profiles and online adaptations are auditable.
+        """
+        groups: dict[str, dict] = {}
+        for group, obs in sorted(self._obs.items(), key=lambda kv: str(kv[0])):
+            entry: dict = {"n_obs": len(obs)}
+            fit = self._fit(group)
+            if fit is None:
+                entry.update(a=None, b=None, target=None,
+                             probe=self._probe.get(group, self.min_batch))
+            else:
+                a, b = fit
+                cap = max(self.min_batch, 2 * max(sz for sz, _ in obs))
+                if a <= 0.0:
+                    target = max(1, self.min_batch)
+                elif b <= 0.0:
+                    target = min(cap, self.max_batch)
+                else:
+                    f = self.overhead_target
+                    target = min(max(math.ceil(a * (1.0 - f) / (b * f)),
+                                     self.min_batch), cap, self.max_batch)
+                entry.update(a=a, b=b, target=int(target), cap=int(cap))
+            groups["/".join(str(p) for p in group)] = entry
+        return {
+            "name": self.name,
+            "overhead_target": self.overhead_target,
+            "min_batch": self.min_batch,
+            "max_batch": self.max_batch,
+            "window": self.window,
+            "groups": groups,
+        }
 
     # ------------------------------------------------------------------
     def _fit(self, group: tuple) -> tuple[float, float] | None:

@@ -133,6 +133,14 @@ class ServeLoop:
         its uncommitted journal record is skipped on replay, the retry is
         exactly-once.  Restart wall-clock (virtual) is billed to the
         batch and recorded in :attr:`restarts`.
+    controller:
+        A :class:`repro.tune.OnlineController` consulted between batches
+        at phase boundaries (``None`` disables — the default).  With an
+        empty whitelist the controller is inert: it is never invoked and
+        the run stays byte-identical to one without it.  When it adapts,
+        any charged work it triggers runs on the virtual clock, and its
+        audit trail (plus the batch policy snapshot) is attached as
+        ``stats.config``.
     max_restarts:
         Machine restarts tolerated before the kill propagates (safety
         valve against a kill-loop).
@@ -142,7 +150,7 @@ class ServeLoop:
                  max_retries: int = 3, backoff_s: float = 1e-4,
                  timeout_s: float | None = None, degraded_mode: bool = True,
                  failover: bool = True, rebalancer=None, store=None,
-                 max_restarts: int = 4) -> None:
+                 controller=None, max_restarts: int = 4) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if backoff_s < 0:
@@ -161,6 +169,7 @@ class ServeLoop:
         self.failover = bool(failover)
         self.rebalancer = rebalancer
         self.store = store
+        self.controller = controller
         self.max_restarts = int(max_restarts)
         self._recovered: set[int] = set()  # modules already failed over
         # Cumulative virtual seconds: service vs rebalance/checkpoint
@@ -279,6 +288,21 @@ class ServeLoop:
                         self.queue.offer(pending[i], pending[i].arrival_s)
                         i += 1
                     now = end
+            # Online tuning at phase boundaries — between batches, so
+            # never mid-round.  The controller reads the run's own
+            # signals and may move whitelisted knobs; any charged work
+            # it triggers (a route-filter FPR rebuild) is measured and
+            # advances the virtual clock like the blocks above.  An
+            # inactive controller (empty whitelist) is never called.
+            if self.controller is not None and self.controller.due(
+                    len(batches)):
+                m = self.adapter.measure(lambda: self.controller.adapt(self))
+                if m.sim_time_s > 0.0:
+                    end = now + m.sim_time_s
+                    while i < n and pending[i].arrival_s <= end:
+                        self.queue.offer(pending[i], pending[i].arrival_s)
+                        i += 1
+                    now = end
         # Drain any remaining async backlog so the staleness accounting
         # covers every fanned write (no latency impact — all requests are
         # already terminal).
@@ -291,6 +315,13 @@ class ServeLoop:
         rf = self._route_filters()
         if rf is not None:
             result.stats.filters = rf.summary()
+        if self.controller is not None and self.controller.active:
+            snap = getattr(self.policy, "snapshot", None)
+            result.stats.config = {
+                "policy": (snap() if snap is not None
+                           else {"name": getattr(self.policy, "name", "?")}),
+                "controller": self.controller.audit(),
+            }
         return result
 
     def _replicas(self):

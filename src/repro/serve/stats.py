@@ -86,6 +86,10 @@ class LatencyStats:
     # (repro.route.RouteFilterSet.summary), attached by the serve loop
     # when filters are installed on the adapter's tree.
     filters: dict | None = None
+    # Tuning audit block (policy snapshot with fitted amortisation
+    # coefficients + online-controller history), attached by the serve
+    # loop only when an active OnlineController ran.
+    config: dict | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -196,6 +200,8 @@ class LatencyStats:
             out["replication"] = dict(self.replication)
         if self.filters is not None:
             out["filters"] = dict(self.filters)
+        if self.config is not None:
+            out["config"] = dict(self.config)
         return out
 
     def to_json(self) -> str:
@@ -260,5 +266,12 @@ class LatencyStats:
                 f"{f['words_saved']:.0f} words saved | "
                 f"{f['fp_probes']} false-positive probes | "
                 f"{f['filter_kib']:.1f} KiB resident"
+            )
+        if self.config is not None and "controller" in self.config:
+            c = self.config["controller"]
+            lines.append(
+                f"online tuning: {c['changes']} change(s) over "
+                f"{c['phases']} phase(s) "
+                f"(whitelist: {', '.join(c['whitelist']) or 'empty'})"
             )
         return "\n".join(lines)

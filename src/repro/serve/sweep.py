@@ -125,7 +125,11 @@ def run_shard(spec: dict) -> dict:
     implicit in index kind, seed, requests, rate, mix, k, deadline_s,
     queue_depth, overflow, policy, fixed_batch, sim_mode, exec_mode,
     arrival, tenants (optional tenant→weight dict: tags requests and
-    turns the queue weighted-fair).  Everything in and out is picklable.
+    turns the queue weighted-fair), tune_config (optional resolved
+    ``repro.tune`` config dict — the shard then builds its policy,
+    rebalancer, replicas and route filters through
+    :func:`repro.tune.apply.apply_serving_config`, each replica owning
+    its own copies).  Everything in and out is picklable.
     """
     from ..eval.experiments import _dataset
     from ..eval.harness import make_adapter
@@ -146,18 +150,34 @@ def run_shard(spec: dict) -> dict:
         data, arrivals, mix=spec.get("mix"), k=int(spec.get("k", 10)),
         deadline_s=float(spec.get("deadline_s", math.inf)), seed=seed + 2,
         tenants=spec.get("tenants"))
-    adapter = make_adapter(
-        spec.get("index", "pim"), data, n_modules=int(spec["n_modules"]),
-        seed=seed, sim_mode=spec.get("sim_mode"),
-        exec_mode=spec.get("exec_mode"))
-    policy = (FixedBatchPolicy(int(spec.get("fixed_batch", 256)))
-              if spec.get("policy") == "fixed" else AdaptiveBatchPolicy())
+    tune_config = spec.get("tune_config")
+    rebalancer = None
+    if tune_config is not None:
+        from ..tune.apply import (apply_serving_config, make_index_config)
+
+        idx_cfg = make_index_config(
+            tune_config, kind=spec.get("index", "pim"), n_points=len(data),
+            n_modules=int(spec["n_modules"]))
+        adapter = make_adapter(
+            spec.get("index", "pim"), data, n_modules=int(spec["n_modules"]),
+            seed=seed, sim_mode=spec.get("sim_mode"),
+            exec_mode=spec.get("exec_mode"), config=idx_cfg)
+        parts = apply_serving_config(adapter, tune_config, filter_seed=seed)
+        policy = parts["policy"]
+        rebalancer = parts["rebalancer"]
+    else:
+        adapter = make_adapter(
+            spec.get("index", "pim"), data, n_modules=int(spec["n_modules"]),
+            seed=seed, sim_mode=spec.get("sim_mode"),
+            exec_mode=spec.get("exec_mode"))
+        policy = (FixedBatchPolicy(int(spec.get("fixed_batch", 256)))
+                  if spec.get("policy") == "fixed" else AdaptiveBatchPolicy())
     loop = ServeLoop(
         adapter,
         AdmissionQueue(int(spec.get("queue_depth", 4096)),
                        overflow=spec.get("overflow", "reject"),
                        tenants=spec.get("tenants")),
-        policy)
+        policy, rebalancer=rebalancer)
     result = loop.run(requests)
     s = result.stats
     answered = sorted(
@@ -255,6 +275,7 @@ def run_sweep(
     exec_mode: str | None = None,
     arrival: str = "poisson",
     tenants: dict[str, float] | None = None,
+    tune_config: dict | None = None,
 ) -> SweepResult:
     """Shard ``total_requests`` across ``procs`` serve replicas and merge.
 
@@ -262,7 +283,11 @@ def run_sweep(
     independent arrival process at this rate).  ``procs`` defaults to
     ``os.cpu_count()`` capped at 8; each shard gets seed ``seed + 1000·i``
     for its arrival/request streams while sharing the dataset (drawn from
-    ``seed`` so every replica serves the same index).
+    ``seed`` so every replica serves the same index).  ``tune_config`` (a
+    resolved :mod:`repro.tune` config dict) makes every shard build its
+    serving objects — batch policy, rebalancer, replicas, route filters —
+    through the one config-application path; ``None`` keeps the legacy
+    ``policy``/``fixed_batch`` arguments.
     """
     if procs is None:
         procs = min(8, os.cpu_count() or 1)
@@ -276,6 +301,7 @@ def run_sweep(
         "policy": policy, "fixed_batch": int(fixed_batch),
         "sim_mode": sim_mode, "exec_mode": exec_mode,
         "arrival": arrival, "tenants": tenants,
+        "tune_config": tune_config,
     }
     specs = _shard_specs(procs=procs, total_requests=total_requests,
                          seed=seed, spec_kw=spec_kw)

@@ -1,0 +1,142 @@
+"""Turn one configuration dict into live serving objects.
+
+Every consumer of the knob space — ``repro serve``/``faults``/``sweep``,
+the offline search harness's evaluator and the tuning benchmarks — builds
+its batch policy, rebalancer, replica set and route filters through these
+helpers, so a configuration means exactly one thing everywhere.  A
+default config produces objects byte-identical to the pre-tuner code
+paths (``AdaptiveBatchPolicy()``, no rebalancer, no replicas, no
+filters), which is what keeps the serve goldens green.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "make_policy",
+    "make_index_config",
+    "make_rebalancer",
+    "attach_replication",
+    "attach_route_filters",
+    "apply_serving_config",
+]
+
+_PULL_FACTOR_DEFAULT = 3.0  # PIMZdTreeConfig.pull_imbalance_factor
+
+
+def _pim_tree(adapter):
+    """The adapter's PIM tree, or ``None`` for baseline adapters.
+
+    The zd/pkd baselines also expose a ``tree`` attribute, so the guard
+    checks for the PIM system handle the tree-level mechanisms need
+    (historically ``--rebalance --index zd`` crashed with an
+    AttributeError instead of a usage error).
+    """
+    tree = getattr(adapter, "tree", None)
+    return tree if tree is not None and hasattr(tree, "system") else None
+
+
+def make_policy(config: dict):
+    """Batch policy per ``batch.*`` (the pre-tuner constructors verbatim)."""
+    from ..serve import AdaptiveBatchPolicy, FixedBatchPolicy
+
+    if config["batch.policy"] == "fixed":
+        return FixedBatchPolicy(int(config["batch.fixed"]))
+    return AdaptiveBatchPolicy(
+        overhead_target=float(config["batch.overhead_target"]))
+
+
+def make_index_config(config: dict, *, kind: str, n_points: int,
+                      n_modules: int, sim_mode: str | None = None):
+    """Index config carrying the push-pull trigger, or ``None``.
+
+    Returns ``None`` when every index-level knob sits at its default so
+    the adapter takes its historical construction path (byte-identical
+    goldens); otherwise builds the variant config with
+    ``pull_imbalance_factor`` overridden.
+    """
+    pf = float(config["pushpull.pull_factor"])
+    if pf == _PULL_FACTOR_DEFAULT:
+        return None
+    from ..core import skew_resistant, throughput_optimized
+
+    if kind == "pim-skew":
+        cfg = skew_resistant(n_modules, pull_imbalance_factor=pf)
+    else:
+        cfg = throughput_optimized(n_points, n_modules,
+                                   pull_imbalance_factor=pf)
+    if sim_mode is not None:
+        cfg = cfg.with_overrides(sim_mode=sim_mode)
+    return cfg
+
+
+def make_rebalancer(adapter, config: dict):
+    """Online rebalancer per ``rebalance.*`` (``None`` when disabled)."""
+    if not config["rebalance.enabled"]:
+        return None
+    tree = _pim_tree(adapter)
+    if tree is None:
+        raise ValueError("rebalancing requires a pim index adapter")
+    from ..balance import BalanceConfig, OnlineRebalancer
+
+    cfg = BalanceConfig(
+        ratio_threshold=float(config["rebalance.ratio"]),
+        gini_threshold=float(config["rebalance.gini"]),
+        budget_words=float(config["rebalance.budget_words"]),
+        budget_fraction=float(config["rebalance.budget_fraction"]),
+    )
+    return OnlineRebalancer(tree, cfg)
+
+
+def attach_replication(adapter, config: dict, *,
+                       staleness_s: float = 1e-3):
+    """Install K-way replicas per ``replicate.*``; returns the install
+    summary, or ``None`` when ``replicate.k < 2`` (no replication)."""
+    k = int(config["replicate.k"])
+    if k < 2:
+        return None
+    tree = _pim_tree(adapter)
+    if tree is None:
+        raise ValueError("replication requires a pim index adapter")
+    from ..replicate import ReplicaSet, ReplicationConfig
+
+    cfg = ReplicationConfig(k=k,
+                            write_policy=config["replicate.write_policy"],
+                            staleness_bound_s=float(staleness_s))
+    return ReplicaSet(tree, cfg).replicate_all()
+
+
+def attach_route_filters(adapter, config: dict, *, seed: int = 0):
+    """Install membership-filter routing per ``route.*``; returns the
+    filter summary, or ``None`` when disabled."""
+    if not config["route.enabled"]:
+        return None
+    tree = _pim_tree(adapter)
+    if tree is None:
+        raise ValueError("route filters require a pim index adapter")
+    from ..route import RouteFilterSet
+
+    rf = RouteFilterSet(tree, fpr=float(config["route.fpr"]), seed=seed)
+    return rf.summary()
+
+
+def apply_serving_config(adapter, config: dict, *,
+                         staleness_s: float = 1e-3,
+                         filter_seed: int = 0) -> dict:
+    """Attach every tree-level mechanism the config enables.
+
+    Order matters and mirrors the CLI: replication first (filters index
+    replica copies too), then route filters, then the rebalancer.
+    Returns ``{"policy", "rebalancer", "replication", "filters"}`` —
+    the first two are live objects, the last two install summaries (or
+    ``None``).
+    """
+    replication = attach_replication(adapter, config,
+                                     staleness_s=staleness_s)
+    filters = attach_route_filters(adapter, config, seed=filter_seed)
+    rebalancer = make_rebalancer(adapter, config)
+    return {
+        "policy": make_policy(config),
+        "rebalancer": rebalancer,
+        "replication": replication,
+        "filters": filters,
+    }

@@ -260,6 +260,118 @@ def test_replicated_l0_gate(exec_mode):
 
 
 # ----------------------------------------------------------------------
+# incremental insert-only maintenance
+# ----------------------------------------------------------------------
+def _filter_bits(rf):
+    return (rf._global.words.copy(),
+            {mid: f.words.copy() for mid, f in rf._filters.items()},
+            dict(rf._meta_info))
+
+
+def _assert_bits_equal(a, b):
+    g0, mods0, meta0 = a
+    g1, mods1, meta1 = b
+    assert np.array_equal(g0, g1)
+    assert sorted(mods0) == sorted(mods1)
+    for mid in mods0:
+        assert np.array_equal(mods0[mid], mods1[mid]), mid
+    assert meta0 == meta1
+
+
+def test_insert_incremental_bits_match_full_rebuild():
+    """A small insert-only batch (no leaf splits, no Bloom-geometry
+    growth) is served by the in-place OR path, and the resulting bit
+    arrays are identical to a full rebuild over the same residency (the
+    OR-of-hashes argument, checked on real bits)."""
+    rng = np.random.default_rng(47)
+    t = make_tree(rng.random((2600, 3)), fpr=0.01)
+    rf = t.route_filters
+    t.insert(rng.random((4, 3)))
+    assert rf.incremental == 1
+    assert rf.rebuilds == 2  # attach (full) + insert (incremental)
+    after_inc = _filter_bits(rf)
+    rf.rebuild()  # nothing staged -> the full path, same residency
+    assert rf.incremental == 1 and rf.rebuilds == 3
+    _assert_bits_equal(after_inc, _filter_bits(rf))
+    assert rf.summary()["incremental"] == 1
+
+
+def test_incremental_maintenance_charges_less():
+    """The incremental path charges per *new* key; the full rebuild
+    re-hashes every resident key.  At 4 new keys over 2600 resident the
+    route-phase CPU delta must be far smaller."""
+    rng = np.random.default_rng(53)
+    t = make_tree(rng.random((2600, 3)), fpr=0.01)
+    rf = t.route_filters
+
+    def route_cpu():
+        return t.system.stats.to_dict()["phases"]["route"]["cpu_ops"]
+
+    base = route_cpu()
+    t.insert(rng.random((4, 3)))
+    inc_cost = route_cpu() - base
+    assert rf.incremental == 1
+    base = route_cpu()
+    rf.rebuild()  # full
+    full_cost = route_cpu() - base
+    assert inc_cost > 0
+    assert inc_cost * 5 < full_cost
+
+
+def test_delete_takes_the_full_rebuild_path():
+    """Deletes never stage, so their rebuild is the full one — the
+    incremental counter must not move."""
+    rng = np.random.default_rng(59)
+    pts = rng.random((2500, 3))
+    t = make_tree(pts, fpr=0.01)
+    rf = t.route_filters
+    assert t.delete(pts[:40]) == 40
+    assert rf.rebuilds >= 2
+    assert rf.incremental == 0
+
+
+def test_geometry_growth_falls_back_to_full_rebuild():
+    """A batch big enough to grow the Bloom geometry cannot be served in
+    place (the sizing check fails) — it falls back to the full rebuild
+    and the fresh keys are still covered."""
+    rng = np.random.default_rng(61)
+    t = make_tree(rng.random((3000, 3)), fpr=0.01)
+    rf = t.route_filters
+    m_before = rf._global.m_bits
+    fresh = rng.random((300, 3))
+    t.insert(fresh)
+    assert rf.incremental == 0
+    assert rf.rebuilds >= 2
+    assert rf._global.m_bits > m_before
+    res = t.search(fresh)
+    assert all(search_presence(res))
+    assert all(not r.pruned for r in res)
+
+
+def test_incremental_with_replicas_covers_copies():
+    """With chunk replicas attached, the incremental path must OR the new
+    keys into every secondary module's filter too — checked by comparing
+    against the full rebuild bit-for-bit."""
+    from repro.replicate import ReplicaSet, ReplicationConfig
+
+    rng = np.random.default_rng(67)
+    t = make_tree(rng.random((2600, 3)))
+    ReplicaSet(t, ReplicationConfig(k=2, write_policy="write-all",
+                                    staleness_bound_s=1e-3)).replicate_all()
+    RouteFilterSet(t, fpr=0.01)
+    rf = t.route_filters
+    fresh = rng.random((4, 3))
+    t.insert(fresh)
+    assert rf.incremental == 1
+    after_inc = _filter_bits(rf)
+    rf.rebuild()
+    _assert_bits_equal(after_inc, _filter_bits(rf))
+    res = t.search(fresh)
+    assert all(search_presence(res))
+    assert all(not r.pruned for r in res)
+
+
+# ----------------------------------------------------------------------
 # persistence: manifest round-trip + crash-restart rebuild
 # ----------------------------------------------------------------------
 def test_manifest_roundtrip_and_crash_restart_rebuilds_bits():

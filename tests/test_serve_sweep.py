@@ -153,8 +153,19 @@ class TestCLI:
         assert csv.startswith("metric,value")
         assert "latency_p99," in csv
 
-    def test_sweep_rejects_rebalance(self):
+    def test_sweep_accepts_rebalance(self):
+        """Sweep ingests knobs through the same ConfigSpace path as serve:
+        each shard builds its own rebalancer (the old hard rejection is
+        gone), and non-default knobs are reported."""
         out = self._run("sweep", "--n", "2000", "--requests", "10",
                         "--rate", "1000", "--rebalance")
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "tuned knobs: rebalance.enabled=True [flag]" in out.stdout
+
+    def test_sweep_rejects_ungated_refinement(self):
+        """--rebalance-ratio without --rebalance is a loud conflict, not
+        the historical silent drop (and the same message serve prints)."""
+        out = self._run("sweep", "--n", "2000", "--requests", "10",
+                        "--rate", "1000", "--rebalance-ratio", "2.0")
         assert out.returncode == 2
-        assert "rebalance" in out.stdout
+        assert "requires rebalance.enabled=True" in out.stdout
